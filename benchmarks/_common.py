@@ -1,0 +1,85 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the paper-style rows/series it reproduces and
+registers one representative operation with pytest-benchmark.  Scale
+knobs (all overridable via environment variables):
+
+=====================  =======  ==========================================
+variable               default  meaning
+=====================  =======  ==========================================
+``REPRO_MC_TRIALS``    200      Monte Carlo repetitions per point (the
+                                paper uses 5000)
+``REPRO_WL_SIZE``      2000     workload size for the figure benches (the
+                                paper uses ~13K TPC-D / ~6K CRM)
+``REPRO_TABLE_K``      50       largest k for the Table 2/3 benches
+                                (paper: 50/100/500)
+``REPRO_TABLE_TRIALS`` 30       trials per k for Table 2/3
+=====================  =======  ==========================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.experiments import ExperimentSetup, crm_setup, find_pair, \
+    tpcd_setup
+
+MC_TRIALS = int(os.environ.get("REPRO_MC_TRIALS", "200"))
+WL_SIZE = int(os.environ.get("REPRO_WL_SIZE", "2000"))
+TABLE_K = int(os.environ.get("REPRO_TABLE_K", "50"))
+TABLE_TRIALS = int(os.environ.get("REPRO_TABLE_TRIALS", "30"))
+
+#: Budgets (in optimizer calls) for the figure curves.
+FIGURE_BUDGETS = (60, 100, 160, 240, 400)
+
+
+def easy_tpcd_pair() -> Tuple[ExperimentSetup, int, int]:
+    """Figure 1 setup: ~7% apart, low structural overlap (views vs not)."""
+    setup = tpcd_setup(n_queries=WL_SIZE, k=12, seed=0)
+    worse, better = find_pair(setup, 0.07, overlap_below=0.5)
+    return setup, worse, better
+
+
+def hard_tpcd_pair() -> Tuple[ExperimentSetup, int, int]:
+    """Figure 3 setup: <= 2% apart, both index-only (high covariance)."""
+    setup = tpcd_setup(n_queries=WL_SIZE, k=16, seed=1, index_only=True)
+    try:
+        worse, better = find_pair(setup, 0.02, tolerance=0.9,
+                                  overlap_above=0.15)
+    except LookupError:
+        worse, better = find_pair(setup, 0.02, tolerance=0.95)
+    return setup, worse, better
+
+
+def crm_pair() -> Tuple[ExperimentSetup, int, int]:
+    """Figure 4 setup: < 1% apart, little structural overlap."""
+    setup = crm_setup(n_queries=WL_SIZE, k=16, seed=2)
+    try:
+        worse, better = find_pair(setup, 0.01, tolerance=0.95,
+                                  overlap_below=0.5)
+    except LookupError:
+        worse, better = find_pair(setup, 0.01, tolerance=0.99)
+    return setup, worse, better
+
+
+def pair_matrix(
+    setup: ExperimentSetup, worse: int, better: int
+) -> np.ndarray:
+    """The two-configuration cost matrix of a pair experiment."""
+    return setup.matrix[:, [worse, better]]
+
+
+def describe_pair(setup: ExperimentSetup, worse: int, better: int) -> str:
+    totals = setup.true_totals
+    rel = (totals[worse] - totals[better]) / totals[worse] * 100
+    overlap = setup.configurations[worse].overlap_fraction(
+        setup.configurations[better]
+    )
+    return (
+        f"N={setup.workload.size}, cost diff={rel:.1f}%, "
+        f"structural overlap={overlap:.2f}, "
+        f"templates={setup.workload.template_count}"
+    )

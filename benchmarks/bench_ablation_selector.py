@@ -1,0 +1,118 @@
+"""Ablations of the selection procedure's design choices.
+
+DESIGN.md calls out four load-bearing design choices beyond the core
+sampling math; this bench measures each one's contribution on the
+TPC-D multi-configuration problem:
+
+1. **configuration elimination** (§5 / §7.2, drop at
+   Pr(CS_{l,j}) > .995) — saves optimizer calls at equal accuracy;
+2. **the oscillation guard** (§7.2, require Pr(CS) > alpha for 10
+   consecutive samples) — trades extra samples for calibration;
+3. **Delta vs Independent sampling** (§4.2) — the variance reduction
+   from shared samples;
+4. **overhead-aware allocation** (§5.2 closing remark) — weighing
+   variance reduction against per-template optimization cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ConfigurationSelector, MatrixCostSource, \
+    SelectorOptions
+from repro.experiments import format_table, tpcd_setup
+
+from _common import WL_SIZE
+
+TRIALS = 15
+K = 8
+
+
+def _run(setup, options, seed, overheads=None):
+    source = MatrixCostSource(setup.matrix)
+    selector = ConfigurationSelector(
+        source, setup.workload.template_ids, options,
+        rng=np.random.default_rng(seed),
+        template_overheads=overheads,
+    )
+    return source, selector.run()
+
+
+def _evaluate(setup, options, overheads=None, weighted_calls=False):
+    totals = setup.true_totals
+    best = int(np.argmin(totals))
+    correct = 0
+    calls = []
+    for trial in range(TRIALS):
+        _source, result = _run(setup, options, trial, overheads)
+        correct += result.best_index == best
+        calls.append(result.optimizer_calls)
+    return correct / TRIALS, float(np.mean(calls))
+
+
+def test_ablation_selector(benchmark):
+    setup = tpcd_setup(n_queries=WL_SIZE, k=K, seed=0)
+    base = dict(alpha=0.9, reeval_every=4)
+
+    rows = []
+
+    # 1. elimination
+    for eliminate in (True, False):
+        acc, calls = _evaluate(
+            setup, SelectorOptions(eliminate=eliminate, **base)
+        )
+        rows.append([
+            f"elimination={'on' if eliminate else 'off'}",
+            f"{acc:.0%}", f"{calls:.0f}",
+        ])
+
+    # 2. oscillation guard
+    for consecutive in (10, 1):
+        acc, calls = _evaluate(
+            setup, SelectorOptions(consecutive=consecutive, **base)
+        )
+        rows.append([
+            f"consecutive guard={consecutive}",
+            f"{acc:.0%}", f"{calls:.0f}",
+        ])
+
+    # 3. sampling scheme
+    for scheme in ("delta", "independent"):
+        acc, calls = _evaluate(
+            setup, SelectorOptions(scheme=scheme, **base)
+        )
+        rows.append([f"scheme={scheme}", f"{acc:.0%}", f"{calls:.0f}"])
+
+    # 4. overhead-aware allocation (calls weighted by per-template
+    #    optimization overhead: multi-join templates cost more).
+    overheads = setup.workload.template_overheads()
+    for aware in (False, True):
+        acc, calls = _evaluate(
+            setup, SelectorOptions(**base),
+            overheads=overheads if aware else None,
+        )
+        rows.append([
+            f"overhead-aware={'on' if aware else 'off'}",
+            f"{acc:.0%}", f"{calls:.0f}",
+        ])
+
+    print()
+    print(format_table(
+        ["variant", "true Pr(CS)", "mean optimizer calls"],
+        rows,
+        title=f"Selector ablations (k={K}, N={WL_SIZE}, alpha=90%, "
+              f"{TRIALS} trials)",
+    ))
+
+    # Elimination must not lose accuracy while saving calls.
+    acc_on = float(rows[0][1].rstrip("%"))
+    acc_off = float(rows[1][1].rstrip("%"))
+    calls_on = float(rows[0][2])
+    calls_off = float(rows[1][2])
+    assert acc_on >= acc_off - 20
+    assert calls_on <= calls_off * 1.05
+
+    def one_run():
+        return _run(setup, SelectorOptions(**base), 0)
+
+    benchmark.pedantic(one_run, rounds=3, iterations=1)

@@ -1,0 +1,84 @@
+"""Figure 1 — Monte Carlo simulation of Pr(CS), easy TPC-D pair.
+
+Paper setup: TPC-D workload (~13K queries), two configurations with a
+significant cost difference (~7%) and different structure sets (one
+with views, one index-only); delta = 0.  Each scheme runs to a fixed
+sample size; 5000 Monte Carlo repetitions estimate the *true*
+probability of selecting the correct configuration.
+
+Paper findings (Figure 1):
+* <1% of the exhaustive 2N optimizer calls suffices for near-certain
+  selection;
+* Delta Sampling significantly outperforms Independent Sampling at
+  small sample sizes;
+* progressive stratification adds little at these tiny sample sizes.
+
+Scaled-down defaults: N and trial count via REPRO_WL_SIZE /
+REPRO_MC_TRIALS (see benchmarks/_common.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import SchemeSpec, format_series, prcs_curve
+
+from _common import (
+    FIGURE_BUDGETS,
+    MC_TRIALS,
+    describe_pair,
+    easy_tpcd_pair,
+    pair_matrix,
+)
+
+SCHEMES = (
+    SchemeSpec("independent", "none"),
+    SchemeSpec("delta", "none"),
+    SchemeSpec("independent", "progressive"),
+    SchemeSpec("delta", "progressive"),
+)
+
+
+def test_fig1_easy_pair_prcs(benchmark):
+    setup, worse, better = easy_tpcd_pair()
+    matrix = pair_matrix(setup, worse, better)
+    tids = setup.workload.template_ids
+
+    series = {}
+    for spec in SCHEMES:
+        trials = MC_TRIALS if spec.stratify == "none" else \
+            max(20, MC_TRIALS // 4)
+        series[spec.label] = prcs_curve(
+            matrix, tids, spec, FIGURE_BUDGETS, trials=trials, seed=11
+        )
+
+    print()
+    print(f"Figure 1 — {describe_pair(setup, worse, better)}")
+    print(format_series(
+        "optimizer calls", list(FIGURE_BUDGETS), series,
+        title="Monte Carlo simulation of Pr(CS) "
+              f"({MC_TRIALS} trials/point; paper uses 5000)",
+    ))
+
+    exhaustive_calls = 2 * setup.workload.size
+    print(f"exhaustive evaluation would need {exhaustive_calls} calls; "
+          f"near-certain selection at <= {FIGURE_BUDGETS[-1]} "
+          f"({FIGURE_BUDGETS[-1] / exhaustive_calls:.1%}).")
+
+    # Shape assertions from the paper.
+    ds = series[SchemeSpec("delta", "none").label]
+    is_ = series[SchemeSpec("independent", "none").label]
+    assert ds[0] >= is_[0]                     # DS beats IS early
+    assert ds[-1] >= 0.9                       # near-certainty reached
+
+    rng = np.random.default_rng(0)
+    from repro.experiments import select_fixed_budget
+
+    benchmark.pedantic(
+        select_fixed_budget,
+        args=(matrix, tids, SchemeSpec("delta", "progressive"),
+              FIGURE_BUDGETS[2], rng),
+        rounds=3,
+        iterations=1,
+    )

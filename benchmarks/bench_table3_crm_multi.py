@@ -1,0 +1,90 @@
+"""Table 3 — multiple-configuration selection on the CRM workload.
+
+Same protocol as Table 2 (see bench_table2_tpcd_multi.py), on the CRM
+database/trace.  Paper results:
+
+    method          metric        k=50    k=100   k=500
+    Delta-Sampling  true Pr(CS)   97.5%   94.4%   89.7%
+                    Max Delta     1.7%    1.4%    0.8%
+    No Strat.       true Pr(CS)   56.0%   37.5%   11.0%
+                    Max Delta     10.53%  12.69%  6.5%
+    Equal Alloc.    true Pr(CS)   71.1%   52.8%   17.0%
+                    Max Delta     7.2%    5.8%    3.26%
+
+The paper notes the primitive's true Pr(CS) *exceeds* alpha here
+because the 10-consecutive-samples guard over-samples easy selection
+problems (footnote 4).
+
+Scale caveat: the CRM cost differences are dominated by a few heavy
+statements (see Figure 4), so at our scaled N the primitive samples a
+large fraction of the workload before reaching alpha.  The matched-
+*queries* baselines then approach a census and trivially select
+correctly — informative in the paper's small-m/N regime, not in ours.
+The assertions therefore check the primitive's own contract (true
+Pr(CS) tracks alpha) and its optimizer-call advantage (elimination
+stops evaluating hopeless configurations, which the baselines cannot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import crm_setup, format_table, multi_config_table
+
+from _common import TABLE_K, TABLE_TRIALS, WL_SIZE
+
+K_VALUES = tuple(
+    k for k in (max(10, TABLE_K // 5), TABLE_K) if k <= TABLE_K
+)
+
+
+def test_table3_crm_multi_config(benchmark):
+    rows_out = []
+    results = {}
+    for k in K_VALUES:
+        setup = crm_setup(n_queries=WL_SIZE, k=k, seed=6)
+        rows = multi_config_table(
+            setup.matrix, setup.workload.template_ids,
+            alpha=0.9, delta=0.0, trials=TABLE_TRIALS, seed=8,
+        )
+        results[k] = rows
+        for row in rows:
+            rows_out.append([
+                row.method, f"k={k}",
+                f"{row.true_prcs:.1%}",
+                f"{row.max_delta_pct:.2f}%",
+                f"{row.mean_calls:.0f}",
+                f"{row.mean_queries:.0f}",
+            ])
+
+    print()
+    print(format_table(
+        ["method", "k", "True Pr(CS)", "Max Delta", "mean calls",
+         "mean queries"],
+        rows_out,
+        title=f"Table 3 — CRM workload (alpha=90%, delta=0, "
+              f"{TABLE_TRIALS} trials; paper uses 5000)",
+    ))
+
+    for k, rows in results.items():
+        delta_row, nostrat_row, _equal_row = rows
+        # The primitive's contract: true Pr(CS) tracks alpha (within
+        # the +-1-trial granularity of the Monte Carlo).
+        assert delta_row.true_prcs >= 0.9 - 2.0 / TABLE_TRIALS
+        # And it spends fewer optimizer calls than evaluating the same
+        # queries in every configuration (the baselines' cost); the
+        # advantage grows with k as elimination prunes the field.
+        assert delta_row.mean_calls < 0.8 * nostrat_row.mean_calls
+    largest = max(results)
+    assert results[largest][0].mean_calls < \
+        0.2 * results[largest][1].mean_calls
+
+    setup = crm_setup(n_queries=WL_SIZE, k=K_VALUES[0], seed=6)
+
+    def one_table():
+        return multi_config_table(
+            setup.matrix, setup.workload.template_ids,
+            alpha=0.9, trials=2, seed=1,
+        )
+
+    benchmark.pedantic(one_table, rounds=1, iterations=1)

@@ -1,0 +1,125 @@
+"""Validating the CLT machinery on a skewed workload (Section 6).
+
+Sampling-based Pr(CS) estimates lean on two assumptions: the CLT
+applies at the chosen sample size, and the sample variance estimates
+the population variance.  Heavy-tailed query costs can break both —
+"a single very large outlier value may dominate both the variance and
+the skew of the cost distribution."
+
+This example derives per-query cost intervals from the base and ideal
+configurations, bounds the population variance and skew with the
+Section 6.2 dynamic programs, applies the modified Cochran rule
+``n > 28 + 25 G1^2`` to find a *certified* minimum sample size, and
+shows the conservative variance bound in action: Pr(CS) computed with
+``sigma^2_max`` never overstates confidence.
+
+Run:  python examples/conservative_validation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CostBounder,
+    WhatIfOptimizer,
+    base_configuration,
+    build_pool,
+    enumerate_configurations,
+    generate_tpcd_workload,
+    max_skew_bound,
+    max_variance_bound,
+    validate_sample_size,
+)
+from repro.core import pairwise_prcs
+from repro.experiments import format_kv
+from repro.workload import tpcd_schema
+
+
+def main() -> None:
+    schema = tpcd_schema(scale_factor=0.1)
+    workload = generate_tpcd_workload(1_000, seed=6, schema=schema)
+    optimizer = WhatIfOptimizer(schema)
+    pool = build_pool(workload.queries[:250], optimizer)
+    # A realistic tuning session: the candidates share a set of
+    # always-present structures (the most broadly useful indexes), so
+    # the base configuration is substantive and the derived cost
+    # intervals are tight.
+    from repro import Configuration
+
+    common = sorted(
+        pool.index_weights, key=pool.index_weights.get, reverse=True
+    )[:12]
+    shared = Configuration(common, name="shared")
+    configs = enumerate_configurations(
+        pool, 4, np.random.default_rng(8), base=shared, index_only=True
+    )
+    base = base_configuration(configs)
+    union = configs[0]
+    for cfg in configs[1:]:
+        union = union.union(cfg)
+
+    # --- derive certified cost intervals (2 calls per SELECT, 2 per
+    #     DML template; Section 6.1) ---------------------------------
+    bounder = CostBounder(optimizer, workload, base, union,
+                          index_only=True)
+    intervals = bounder.universal_intervals()
+    widths = intervals.widths()
+    print(format_kv({
+        "queries": workload.size,
+        "bounding optimizer calls": intervals.optimizer_calls,
+        "median interval width": f"{np.median(widths):.1f}",
+        "max interval width": f"{widths.max():.1f}",
+    }, title="cost intervals (base vs ideal configuration)"))
+
+    # --- bound variance and skew; apply the Cochran rule -------------
+    rho = max(1.0, float(np.median(intervals.highs)) / 200)
+    validation = validate_sample_size(
+        intervals.lows, intervals.highs, rho=rho
+    )
+    print()
+    print(format_kv({
+        "rho": f"{rho:.2f}",
+        "sigma^2_max (certified)": f"{validation.sigma2_max:,.0f}",
+        "G1_max (conservative)": f"{validation.g1_max:.2f}",
+        "certified minimum sample": validation.min_sample,
+        "fraction of workload": f"{validation.required_fraction:.1%}",
+    }, title="Section 6.2 bounds + modified Cochran rule"))
+    if validation.min_sample and validation.min_sample >= workload.size:
+        print("  -> at this small N the certified minimum exceeds the "
+              "workload: evaluate exhaustively.  The required minimum "
+              "is roughly N-independent, so the *fraction* shrinks as "
+              "workloads grow (the paper's 4% at 13K vs 0.6% at 131K); "
+              "see benchmarks/bench_sec6_cochran.py.")
+
+    # --- conservative Pr(CS): substitute sigma^2_max for s^2 ---------
+    true_costs = workload.cost_vector(optimizer, configs[0].union(base))
+    n = min(workload.size // 2, validation.min_sample or 30)
+    rng = np.random.default_rng(1)
+    sample = true_costs[rng.choice(workload.size, n, replace=False)]
+    N = workload.size
+    gap = 0.05 * true_costs.sum()  # a hypothetical observed gap
+
+    def estimator_variance(sigma2: float) -> float:
+        return N**2 * sigma2 / n * (1 - n / N)
+
+    optimistic = pairwise_prcs(gap, estimator_variance(
+        float(sample.var(ddof=1))
+    ))
+    conservative = pairwise_prcs(gap, estimator_variance(
+        validation.sigma2_max
+    ))
+    print()
+    print(format_kv({
+        "sample variance s^2": f"{sample.var(ddof=1):,.0f}",
+        "Pr(CS) via s^2": f"{optimistic:.4f}",
+        "Pr(CS) via sigma^2_max": f"{conservative:.4f}",
+    }, title="conservative vs sample-variance Pr(CS) at the same gap"))
+    print("\nThe certified bound can only lower the reported "
+          "confidence — the guarantee direction the paper requires "
+          "for physical design decisions.")
+    assert conservative <= optimistic + 1e-12
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Present so that ``pip install -e .`` works on environments whose
+setuptools predates PEP 660 editable-wheel support (all metadata lives
+in ``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,136 @@
+"""repro — Scalable Exploration of Physical Database Design (ICDE 2006).
+
+A full reproduction of König & Nabar's probabilistic comparison
+primitive for physical database design, together with every substrate
+it needs: a simulated what-if optimizer over synthetic TPC-D and CRM
+databases, workload generation and storage, configuration enumeration,
+workload-compression baselines and a greedy design tuner.
+
+Quickstart::
+
+    from repro import (
+        tpcd_setup, ConfigurationSelector, SelectorOptions,
+        MatrixCostSource,
+    )
+
+    setup = tpcd_setup(n_queries=2000, k=5, seed=0)
+    source = MatrixCostSource(setup.matrix)
+    selector = ConfigurationSelector(
+        source, setup.workload.template_ids,
+        SelectorOptions(alpha=0.9, delta=0.0),
+    )
+    result = selector.run()
+    print(result.best_index, result.prcs, result.optimizer_calls)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .bounds import (
+    CLTValidation,
+    CostBounder,
+    CostIntervals,
+    cochran_holds,
+    cochran_min_sample,
+    max_skew_bound,
+    max_variance_bound,
+    validate_sample_size,
+)
+from .catalog import Column, ColumnType, ForeignKey, Schema, Table
+from .compression import (
+    CompressedWorkload,
+    compress_by_clustering,
+    compress_by_cost,
+    compress_random,
+)
+from .core import (
+    ConfigurationSelector,
+    CostSource,
+    MatrixCostSource,
+    OptimizerCostSource,
+    SelectionResult,
+    SelectorOptions,
+    Stratification,
+)
+from .experiments import (
+    ExperimentSetup,
+    SchemeSpec,
+    crm_setup,
+    find_pair,
+    multi_config_table,
+    prcs_curve,
+    select_fixed_budget,
+    tpcd_setup,
+)
+from .optimizer import CostParams, WhatIfOptimizer
+from .physical import (
+    Configuration,
+    Index,
+    MaterializedView,
+    base_configuration,
+    build_pool,
+    enumerate_configurations,
+)
+from .queries import Query, QueryType, parse_query, render_query
+from .tuner import GreedyTuner, evaluate_configuration
+from .workload import (
+    Workload,
+    WorkloadStore,
+    generate_crm_workload,
+    generate_tpcd_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CLTValidation",
+    "CostBounder",
+    "CostIntervals",
+    "cochran_holds",
+    "cochran_min_sample",
+    "max_skew_bound",
+    "max_variance_bound",
+    "validate_sample_size",
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "CompressedWorkload",
+    "compress_by_clustering",
+    "compress_by_cost",
+    "compress_random",
+    "ConfigurationSelector",
+    "CostSource",
+    "MatrixCostSource",
+    "OptimizerCostSource",
+    "SelectionResult",
+    "SelectorOptions",
+    "Stratification",
+    "ExperimentSetup",
+    "SchemeSpec",
+    "crm_setup",
+    "find_pair",
+    "multi_config_table",
+    "prcs_curve",
+    "select_fixed_budget",
+    "tpcd_setup",
+    "CostParams",
+    "WhatIfOptimizer",
+    "Configuration",
+    "Index",
+    "MaterializedView",
+    "base_configuration",
+    "build_pool",
+    "enumerate_configurations",
+    "Query",
+    "QueryType",
+    "parse_query",
+    "render_query",
+    "GreedyTuner",
+    "evaluate_configuration",
+    "Workload",
+    "WorkloadStore",
+    "generate_crm_workload",
+    "generate_tpcd_workload",
+]

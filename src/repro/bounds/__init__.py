@@ -1,0 +1,24 @@
+"""Section 6 machinery: cost intervals, variance/skew bounds, CLT checks."""
+
+from .clt import (
+    CLTValidation,
+    cochran_holds,
+    cochran_min_sample,
+    validate_sample_size,
+)
+from .cost_bounds import CostBounder, CostIntervals
+from .skew_bound import SkewBoundResult, max_skew_bound
+from .variance_bound import VarianceBoundResult, max_variance_bound
+
+__all__ = [
+    "CLTValidation",
+    "cochran_holds",
+    "cochran_min_sample",
+    "validate_sample_size",
+    "CostBounder",
+    "CostIntervals",
+    "SkewBoundResult",
+    "max_skew_bound",
+    "VarianceBoundResult",
+    "max_variance_bound",
+]

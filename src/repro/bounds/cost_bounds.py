@@ -1,0 +1,246 @@
+"""Per-query cost intervals from domain knowledge (Section 6.1).
+
+The variance/skew bounds of Section 6.2 need, for every query that has
+*not* been sampled, an interval guaranteed to contain its cost.  In the
+physical-design setting this is tractable:
+
+* **SELECT queries.** If the optimizer is well-behaved, adding
+  structures can only reduce a SELECT's cost.  Its cost in the *base
+  configuration* (structures present in every candidate) is therefore
+  an upper bound for any enumerated configuration, and its cost in an
+  *ideal configuration* — the base plus every structure the optimizer's
+  instrumentation ([2]-style, see
+  :meth:`repro.optimizer.whatif.WhatIfOptimizer.ideal_configuration`)
+  deems useful for the query — is a lower bound.  Two optimizer calls
+  per query, valid across the whole configuration space.
+
+* **DML statements.** Split into SELECT part + pure update part (the
+  paper's example).  The SELECT part is bounded as above.  The pure
+  update part's cost grows with its selectivity, so within a template
+  the statements with the smallest/largest estimated selectivity bound
+  everyone else: two optimizer calls per (template, configuration).
+  For configuration-independent intervals, the update part is bounded
+  below in the base configuration (fewest structures to maintain) and
+  above in the union of all candidate structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..optimizer.update_cost import select_part
+from ..physical.configuration import Configuration
+from ..queries.ast import Query, QueryType
+
+__all__ = ["CostIntervals", "CostBounder"]
+
+
+@dataclass(frozen=True)
+class CostIntervals:
+    """Per-query cost intervals plus bookkeeping.
+
+    Attributes
+    ----------
+    lows / highs:
+        Arrays of length N with the certified interval per query.
+    optimizer_calls:
+        What-if calls spent deriving the intervals.
+    """
+
+    lows: np.ndarray
+    highs: np.ndarray
+    optimizer_calls: int
+
+    def widths(self) -> np.ndarray:
+        """Interval widths (useful to pick the DP granularity ``rho``)."""
+        return self.highs - self.lows
+
+    def contains(self, costs: np.ndarray, atol: float = 1e-9) -> bool:
+        """Whether every cost lies inside its interval (validation)."""
+        costs = np.asarray(costs, dtype=np.float64)
+        return bool(
+            np.all(costs >= self.lows - atol)
+            and np.all(costs <= self.highs + atol)
+        )
+
+
+class CostBounder:
+    """Derives cost intervals for a workload over a configuration space.
+
+    Parameters
+    ----------
+    optimizer:
+        A :class:`repro.optimizer.whatif.WhatIfOptimizer`.
+    workload:
+        A :class:`repro.workload.workload.Workload`.
+    base_config:
+        The base configuration (structures shared by every candidate).
+    union_config:
+        The union of all candidate structures; used as the worst-case
+        maintenance environment for DML upper bounds.  Defaults to the
+        base configuration (i.e. bounds valid only when no candidate
+        adds structures on updated tables — pass the real union for
+        correctness over a candidate set).
+    index_only:
+        When the explored configuration space contains no materialized
+        views (e.g. Figure 3's candidates), the ideal configuration
+        used for SELECT lower bounds may drop view suggestions too,
+        yielding much tighter — still valid — intervals.
+    """
+
+    def __init__(
+        self,
+        optimizer,
+        workload,
+        base_config: Configuration,
+        union_config: Optional[Configuration] = None,
+        index_only: bool = False,
+    ) -> None:
+        self.optimizer = optimizer
+        self.workload = workload
+        self.base_config = base_config
+        self.union_config = (
+            union_config if union_config is not None else base_config
+        )
+        self.index_only = index_only
+
+    # ------------------------------------------------------------------
+    # SELECT bounds
+    # ------------------------------------------------------------------
+    def select_bounds(self, query: Query) -> Tuple[float, float]:
+        """[ideal-config cost, base-config cost] for a SELECT query."""
+        if query.qtype != QueryType.SELECT:
+            raise ValueError(
+                f"select_bounds expects a SELECT, got {query.qtype}"
+            )
+        high = self.optimizer.cost(query, self.base_config)
+        ideal = self.optimizer.ideal_configuration(query)
+        if self.index_only:
+            ideal = Configuration(ideal.indexes, name="ideal-ix")
+        ideal = self.base_config.union(ideal, name="ideal+base")
+        low = self.optimizer.cost(query, ideal)
+        if low > high:
+            # Defensive: a well-behaved optimizer never does this, but
+            # the interval must stay valid regardless.
+            low, high = high, low
+        return low, high
+
+    # ------------------------------------------------------------------
+    # DML bounds
+    # ------------------------------------------------------------------
+    def _dml_bounds(self, query: Query) -> Tuple[float, float]:
+        if query.qtype == QueryType.INSERT:
+            low = self.optimizer.cost(query, self.base_config)
+            high = self.optimizer.cost(query, self.union_config)
+            return min(low, high), max(low, high)
+        locate = select_part(query)
+        sel_low, sel_high = self.select_bounds(locate)
+        # Pure update part = full statement cost minus its SELECT part,
+        # evaluated in the extreme maintenance environments.
+        base_total = self.optimizer.cost(query, self.base_config)
+        base_select = self.optimizer.cost(locate, self.base_config)
+        union_total = self.optimizer.cost(query, self.union_config)
+        union_select = self.optimizer.cost(locate, self.union_config)
+        update_low = max(0.0, base_total - base_select)
+        update_high = max(update_low, union_total - union_select)
+        return sel_low + update_low, sel_high + update_high
+
+    def _template_extremes(self) -> Dict[int, Tuple[int, int]]:
+        """Per DML template: (min-selectivity, max-selectivity) members.
+
+        Selectivity here is the optimizer's *estimated affected rows*,
+        computable from statistics alone (no full optimization), which
+        is what makes the per-template trick cheap.
+        """
+        from ..optimizer.update_cost import affected_rows
+
+        extremes: Dict[int, Tuple[int, int]] = {}
+        rows_cache: Dict[int, float] = {}
+        for i, q in enumerate(self.workload.queries):
+            if q.qtype not in QueryType.DML:
+                continue
+            tid = int(self.workload.template_ids[i])
+            rows = affected_rows(q, self.optimizer.schema,
+                                 self.optimizer.stats)
+            if tid not in extremes:
+                extremes[tid] = (i, i)
+                rows_cache[tid] = rows
+                rows_cache[-tid - 1] = rows
+                continue
+            lo_i, hi_i = extremes[tid]
+            if rows < rows_cache[tid]:
+                extremes[tid] = (i, hi_i)
+                rows_cache[tid] = rows
+            elif rows > rows_cache[-tid - 1]:
+                extremes[tid] = (lo_i, i)
+                rows_cache[-tid - 1] = rows
+        return extremes
+
+    # ------------------------------------------------------------------
+    # workload-level intervals
+    # ------------------------------------------------------------------
+    def universal_intervals(self) -> CostIntervals:
+        """Intervals valid for every configuration between base and union.
+
+        SELECTs cost two calls each; DML statements are bounded via the
+        per-template extreme-selectivity trick: two full costings per
+        (template, environment) plus each member's own SELECT-part
+        bounds scaled by its selectivity ratio — conservatively, we
+        simply take the template's widest update-part interval for all
+        members, preserving validity.
+        """
+        calls_before = self.optimizer.calls
+        n = self.workload.size
+        lows = np.zeros(n)
+        highs = np.zeros(n)
+        template_update_bounds: Dict[int, Tuple[float, float]] = {}
+        extremes = self._template_extremes()
+        for tid, (lo_i, hi_i) in extremes.items():
+            lo_low, _lo_high = self._dml_bounds(self.workload[lo_i])
+            _hi_low, hi_high = self._dml_bounds(self.workload[hi_i])
+            template_update_bounds[tid] = (lo_low, max(lo_low, hi_high))
+        for i, q in enumerate(self.workload.queries):
+            if q.qtype == QueryType.SELECT:
+                lows[i], highs[i] = self.select_bounds(q)
+            else:
+                tid = int(self.workload.template_ids[i])
+                lows[i], highs[i] = template_update_bounds[tid]
+        return CostIntervals(
+            lows=lows,
+            highs=highs,
+            optimizer_calls=self.optimizer.calls - calls_before,
+        )
+
+    def intervals_for_config(self, config: Configuration) -> CostIntervals:
+        """Intervals specialized to one configuration.
+
+        SELECT intervals stay [ideal, base]; DML statements are bounded
+        per template by the two extreme-selectivity statements costed
+        *in this configuration* (two calls per template, as in §6.1).
+        """
+        calls_before = self.optimizer.calls
+        n = self.workload.size
+        lows = np.zeros(n)
+        highs = np.zeros(n)
+        extremes = self._template_extremes()
+        template_bounds: Dict[int, Tuple[float, float]] = {}
+        for tid, (lo_i, hi_i) in extremes.items():
+            lo_cost = self.optimizer.cost(self.workload[lo_i], config)
+            hi_cost = self.optimizer.cost(self.workload[hi_i], config)
+            template_bounds[tid] = (
+                min(lo_cost, hi_cost), max(lo_cost, hi_cost)
+            )
+        for i, q in enumerate(self.workload.queries):
+            if q.qtype == QueryType.SELECT:
+                lows[i], highs[i] = self.select_bounds(q)
+            else:
+                tid = int(self.workload.template_ids[i])
+                lows[i], highs[i] = template_bounds[tid]
+        return CostIntervals(
+            lows=lows,
+            highs=highs,
+            optimizer_calls=self.optimizer.calls - calls_before,
+        )

@@ -1,0 +1,150 @@
+"""Conservative upper bound on Fisher skew over interval-bounded data.
+
+Section 6.2 of the paper bounds ``G1`` — Fisher's skewness measure of
+the cost population — with "an approximation scheme similar to the one
+used for sigma^2_max", whose description the paper omits for space.  We
+implement a *conservative* analogue and document it as such (DESIGN.md,
+"Deviations"):
+
+For every achievable rounded sum ``s`` (values restricted to interval
+boundaries and the ``rho``-grid, as in the variance DP), three dynamic
+programs track
+
+* ``max sum v_i^3``  (numerator, upward),
+* ``min sum v_i^2``  (denominator, downward),
+* ``max sum v_i^2``  (needed by the numerator's ``-3 mu sum v^2`` term
+  when ``mu < 0``; costs are non-negative so this is defensive only).
+
+With the mean ``mu = s/n`` fixed per state, the third central moment
+
+    sum (v_i - mu)^3 = sum v^3 - 3 mu sum v^2 + 3 mu^2 s - n mu^3
+
+is bounded above by combining the per-state extrema, and the variance
+is bounded below analogously.  The ratio of the two bounds over-covers
+the true maximum of the ratio (numerator and denominator need not be
+attained by the same assignment), hence *conservative*: Cochran-style
+sample-size checks built on it never accept a too-small sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ._dp import apply_group, group_intervals
+from ._dp import round_to_grid as _round_to_grid
+
+__all__ = ["SkewBoundResult", "max_skew_bound"]
+
+
+@dataclass(frozen=True)
+class SkewBoundResult:
+    """Result of the skew-maximization approximation.
+
+    Attributes
+    ----------
+    g1_max:
+        Conservative upper bound on Fisher skew ``G1`` (may be
+        ``inf`` when some achievable sum admits near-zero variance).
+    states:
+        DP state-space size.
+    rho:
+        Grid granularity used.
+    """
+
+    g1_max: float
+    states: int
+    rho: float
+
+
+def max_skew_bound(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    rho: float,
+    max_states: Optional[int] = 50_000_000,
+    variance_floor: float = 1e-12,
+) -> SkewBoundResult:
+    """Conservative upper bound on ``G1_max`` over the interval box.
+
+    Parameters mirror
+    :func:`repro.bounds.variance_bound.max_variance_bound`;
+    ``variance_floor`` guards the denominator (states whose variance
+    lower bound falls below it yield an infinite skew bound, which is
+    the conservative answer).
+    """
+    lows = np.asarray(lows, dtype=np.float64)
+    highs = np.asarray(highs, dtype=np.float64)
+    if lows.shape != highs.shape or lows.ndim != 1:
+        raise ValueError("lows and highs must be 1-D arrays of equal length")
+    if len(lows) == 0:
+        raise ValueError("need at least one interval")
+    if (highs < lows).any():
+        raise ValueError("every interval needs high >= low")
+    if rho <= 0:
+        raise ValueError(f"rho must be positive, got {rho}")
+
+    n = len(lows)
+    a = _round_to_grid(lows, rho)
+    b = np.maximum(_round_to_grid(highs, rho), a)
+    d = b - a
+    total_states = int(d.sum()) + 1
+    if max_states is not None and total_states > max_states:
+        raise ValueError(
+            f"DP state space {total_states} exceeds max_states="
+            f"{max_states}; increase rho"
+        )
+
+    base_sum = int(a.sum())
+
+    max_sq = np.zeros(1)
+    min_sq = np.zeros(1)
+    max_cu = np.zeros(1)
+    fixed_sq = 0.0
+    fixed_cu = 0.0
+    for lo_g, hi_g, m in group_intervals(a, b):
+        lo_v = lo_g * rho
+        hi_v = hi_g * rho
+        if hi_g == lo_g:
+            fixed_sq += m * lo_v**2
+            fixed_cu += m * lo_v**3
+            continue
+        width = hi_g - lo_g
+        max_sq = apply_group(
+            max_sq, width, m, base=lo_v**2, alpha=hi_v**2 - lo_v**2,
+            kind="max",
+        )
+        min_sq = apply_group(
+            min_sq, width, m, base=lo_v**2, alpha=hi_v**2 - lo_v**2,
+            kind="min",
+        )
+        max_cu = apply_group(
+            max_cu, width, m, base=lo_v**3, alpha=hi_v**3 - lo_v**3,
+            kind="max",
+        )
+
+    j = np.arange(len(max_sq), dtype=np.float64)
+    sums = (base_sum + j) * rho
+    mu = sums / n
+
+    sq_for_numerator = np.where(mu >= 0, min_sq + fixed_sq,
+                                max_sq + fixed_sq)
+    numerator_ub = (
+        (max_cu + fixed_cu)
+        - 3.0 * mu * sq_for_numerator
+        + 3.0 * mu * mu * sums
+        - n * mu**3
+    )
+    variance_lb = np.maximum(0.0, ((min_sq + fixed_sq) - n * mu * mu) / n)
+
+    reachable = np.isfinite(max_cu)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = numerator_ub / (n * variance_lb**1.5)
+    ratios = np.where(variance_lb < variance_floor,
+                      np.where(numerator_ub > 0, np.inf, -np.inf),
+                      ratios)
+    ratios = np.where(reachable, ratios, -np.inf)
+    g1 = float(np.max(ratios)) if len(ratios) else 0.0
+    return SkewBoundResult(g1_max=max(0.0, g1), states=total_states,
+                           rho=rho)

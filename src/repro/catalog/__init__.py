@@ -1,0 +1,32 @@
+"""Schema and statistics substrate.
+
+Logical schemas (:class:`~repro.catalog.schema.Schema`), column value
+distributions (:mod:`repro.catalog.zipf`) and histogram statistics
+(:mod:`repro.catalog.stats`) that the simulated what-if optimizer and
+the workload generators build on.
+"""
+
+from .schema import Column, ColumnType, ForeignKey, Schema, Table
+from .stats import (
+    ColumnStatistics,
+    Histogram,
+    StatisticsCatalog,
+    TableStatistics,
+)
+from .zipf import top_k_mass, zipf_cdf, zipf_pmf, zipf_weights
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "ColumnStatistics",
+    "Histogram",
+    "StatisticsCatalog",
+    "TableStatistics",
+    "top_k_mass",
+    "zipf_cdf",
+    "zipf_pmf",
+    "zipf_weights",
+]

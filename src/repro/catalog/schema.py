@@ -1,0 +1,246 @@
+"""Logical schema objects: columns, tables, foreign keys, schemas.
+
+This is the substrate beneath everything else: the what-if optimizer
+(:mod:`repro.optimizer`), the physical design structures
+(:mod:`repro.physical`) and the workload generators
+(:mod:`repro.workload`) all operate against a :class:`Schema`.
+
+The schema layer is purely *logical*: it records table shapes and
+cardinalities but says nothing about physical design.  Indexes and
+materialized views live in :mod:`repro.physical.structures` and are
+combined into configurations evaluated by the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ColumnType", "Column", "Table", "ForeignKey", "Schema"]
+
+
+class ColumnType:
+    """Enumeration of supported column types.
+
+    Plain string constants rather than :class:`enum.Enum` so that column
+    definitions stay terse in the large generated schemas (the CRM
+    schema defines several thousand columns).
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "str"
+    DATE = "date"
+
+    ALL = (INT, FLOAT, STRING, DATE)
+
+    #: Default storage width in bytes per type, used for row-width and
+    #: page-count estimation by the cost model.
+    WIDTH_BYTES = {INT: 8, FLOAT: 8, STRING: 32, DATE: 8}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single table column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    ctype:
+        One of :attr:`ColumnType.ALL`.
+    distinct_count:
+        Number of distinct values the column takes.  Drives equality
+        selectivity and index usefulness.
+    zipf_theta:
+        Skew of the value-frequency distribution (0 = uniform).
+    width_bytes:
+        Storage width; defaults to the per-type width.
+    """
+
+    name: str
+    ctype: str = ColumnType.INT
+    distinct_count: int = 1000
+    zipf_theta: float = 0.0
+    width_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ctype not in ColumnType.ALL:
+            raise ValueError(f"unknown column type {self.ctype!r}")
+        if self.distinct_count < 1:
+            raise ValueError(
+                f"column {self.name!r}: distinct_count must be >= 1, "
+                f"got {self.distinct_count}"
+            )
+        if self.width_bytes is None:
+            object.__setattr__(
+                self, "width_bytes", ColumnType.WIDTH_BYTES[self.ctype]
+            )
+
+    @property
+    def width(self) -> int:
+        """Storage width in bytes (never ``None`` after construction)."""
+        assert self.width_bytes is not None
+        return self.width_bytes
+
+
+@dataclass
+class Table:
+    """A logical table: a name, a row count and an ordered set of columns."""
+
+    name: str
+    row_count: int
+    columns: Dict[str, Column] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise ValueError(
+                f"table {self.name!r}: row_count must be >= 0, "
+                f"got {self.row_count}"
+            )
+
+    def add_column(self, column: Column) -> "Table":
+        """Add a column; returns ``self`` to allow chained construction."""
+        if column.name in self.columns:
+            raise ValueError(
+                f"table {self.name!r} already has a column {column.name!r}"
+            )
+        self.columns[column.name] = column
+        return self
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name; raises ``KeyError`` with context."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"known columns: {sorted(self.columns)}"
+            ) from None
+
+    @property
+    def row_width(self) -> int:
+        """Total row width in bytes (sum of column widths)."""
+        return sum(c.width for c in self.columns.values())
+
+    def pages(self, page_bytes: int = 8192) -> int:
+        """Number of pages the heap occupies, at ``page_bytes`` per page."""
+        if self.row_count == 0:
+            return 1
+        rows_per_page = max(1, page_bytes // max(1, self.row_width))
+        return max(1, -(-self.row_count // rows_per_page))
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self.columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Table({self.name!r}, rows={self.row_count}, "
+            f"columns={len(self.columns)})"
+        )
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key relationship ``child.child_column -> parent.parent_column``.
+
+    Foreign keys drive both the workload generators (joins follow FK
+    edges) and join-selectivity estimation in the optimizer.
+    """
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+
+    def as_edge(self) -> Tuple[str, str]:
+        """Return the (child_table, parent_table) join-graph edge."""
+        return (self.child_table, self.parent_table)
+
+
+class Schema:
+    """A collection of tables plus foreign-key relationships.
+
+    Provides the lookups the rest of the system needs: tables by name,
+    columns by qualified name and FK edges for join-graph construction.
+    """
+
+    def __init__(self, name: str = "schema") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._foreign_keys: List[ForeignKey] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> Table:
+        """Register a table; returns it for chained construction."""
+        if table.name in self._tables:
+            raise ValueError(f"schema already contains table {table.name!r}")
+        self._tables[table.name] = table
+        return table
+
+    def add_foreign_key(self, fk: ForeignKey) -> ForeignKey:
+        """Register a foreign key after validating both endpoints exist."""
+        child = self.table(fk.child_table)
+        parent = self.table(fk.parent_table)
+        child.column(fk.child_column)
+        parent.column(fk.parent_column)
+        self._foreign_keys.append(fk)
+        return fk
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        """Look up a table by name; raises ``KeyError`` with context."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"schema {self.name!r} has no table {name!r}"
+            ) from None
+
+    def column(self, table_name: str, column_name: str) -> Column:
+        """Look up a column by qualified name."""
+        return self.table(table_name).column(column_name)
+
+    @property
+    def tables(self) -> Dict[str, Table]:
+        """Mapping of table name to :class:`Table` (read-only by convention)."""
+        return self._tables
+
+    @property
+    def foreign_keys(self) -> List[ForeignKey]:
+        """All registered foreign keys."""
+        return list(self._foreign_keys)
+
+    def foreign_keys_of(self, table_name: str) -> List[ForeignKey]:
+        """Foreign keys whose child side is ``table_name``."""
+        return [fk for fk in self._foreign_keys if fk.child_table == table_name]
+
+    def join_edges(self) -> List[Tuple[str, str]]:
+        """All (child, parent) FK edges, for join-graph construction."""
+        return [fk.as_edge() for fk in self._foreign_keys]
+
+    def fk_between(self, table_a: str, table_b: str) -> Optional[ForeignKey]:
+        """Return the FK linking two tables in either direction, if any."""
+        for fk in self._foreign_keys:
+            if {fk.child_table, fk.parent_table} == {table_a, table_b}:
+                return fk
+        return None
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Schema({self.name!r}, tables={len(self._tables)}, "
+            f"fks={len(self._foreign_keys)})"
+        )

@@ -1,0 +1,76 @@
+"""Zipfian frequency distributions for synthetic column values.
+
+The paper's synthetic TPC-D database is generated "so that the frequency
+of attribute values follows a Zipf-like distribution, using the
+skew-parameter theta = 1" (Section 7).  This module provides the small
+amount of machinery needed to model such a distribution analytically:
+given a number of distinct values ``n`` and a skew parameter ``theta``,
+the *i*-th most frequent value (1-indexed rank ``i``) has relative
+frequency proportional to ``1 / i**theta``.
+
+We never materialize actual rows; the statistics layer
+(:mod:`repro.catalog.stats`) consumes the probability vector directly to
+compute selectivities, which is exactly the information a query
+optimizer's cost model extracts from its histograms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_weights", "zipf_pmf", "zipf_cdf", "top_k_mass"]
+
+
+def zipf_weights(n: int, theta: float) -> np.ndarray:
+    """Return the unnormalized Zipf weights ``1 / rank**theta``.
+
+    Parameters
+    ----------
+    n:
+        Number of distinct values (must be >= 1).
+    theta:
+        Skew parameter; ``theta = 0`` yields a uniform distribution and
+        larger values concentrate mass on the most frequent ranks.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n,)`` with ``weights[i] = 1 / (i + 1)**theta``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one distinct value, got n={n}")
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return ranks**-theta
+
+
+def zipf_pmf(n: int, theta: float) -> np.ndarray:
+    """Return the normalized Zipf probability mass function over ranks.
+
+    ``zipf_pmf(n, theta)[i]`` is the probability that a uniformly drawn
+    row carries the value of rank ``i + 1``.
+    """
+    weights = zipf_weights(n, theta)
+    return weights / weights.sum()
+
+
+def zipf_cdf(n: int, theta: float) -> np.ndarray:
+    """Return the cumulative distribution over ranks (ascending rank)."""
+    return np.cumsum(zipf_pmf(n, theta))
+
+
+def top_k_mass(n: int, theta: float, k: int) -> float:
+    """Return the probability mass carried by the ``k`` most frequent values.
+
+    Useful for reasoning about how skewed a column is: for
+    ``theta = 1`` and large ``n`` the head of the distribution carries a
+    disproportionate share of the rows, which is what produces query
+    costs spanning multiple orders of magnitude within one template.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return 0.0
+    k = min(k, n)
+    return float(zipf_pmf(n, theta)[:k].sum())

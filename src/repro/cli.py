@@ -1,0 +1,303 @@
+"""Command-line interface.
+
+A thin operational layer over the library so the common workflows run
+without writing Python::
+
+    repro generate --db tpcd --size 2000 --out workload.db
+    repro compare  --db tpcd --size 2000 --k 8 --alpha 0.9
+    repro compare  --db crm  --size 1500 --k 12 --tournament
+    repro tune     --db tpcd --size 800 --compress by_cost --param 0.2
+    repro explain  --db tpcd --query 17
+
+Every subcommand prints a short, paper-aligned report; seeds make all
+outputs reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def _load_setup(args):
+    """Build (schema, workload, optimizer) per the --db/--size/--seed."""
+    from .optimizer import WhatIfOptimizer
+    from .workload import (
+        crm_schema,
+        generate_crm_workload,
+        generate_tpcd_workload,
+        tpcd_schema,
+    )
+
+    if args.db == "tpcd":
+        schema = tpcd_schema(scale_factor=args.scale)
+        workload = generate_tpcd_workload(
+            args.size, seed=args.seed, schema=schema
+        )
+    else:
+        schema = crm_schema()
+        workload = generate_crm_workload(
+            args.size, seed=args.seed, schema=schema
+        )
+    return schema, workload, WhatIfOptimizer(schema)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--db", choices=("tpcd", "crm"), default="tpcd",
+                        help="which synthetic database to use")
+    parser.add_argument("--size", type=int, default=1000,
+                        help="workload size (statements)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random seed (reproducible outputs)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="TPC-D scale factor")
+
+
+def _cmd_generate(args) -> int:
+    from .workload import WorkloadStore
+
+    _schema, workload, _optimizer = _load_setup(args)
+    with WorkloadStore(args.out) as store:
+        store.load(workload)
+        count = store.count()
+        templates = len(store.template_counts())
+    print(f"wrote {count} statements ({templates} templates, "
+          f"{workload.dml_fraction():.0%} DML) to {args.out}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .core import (
+        ConfigurationSelector,
+        OptimizerCostSource,
+        SelectorOptions,
+        knockout_tournament,
+    )
+    from .physical import build_pool, enumerate_configurations
+
+    _schema, workload, optimizer = _load_setup(args)
+    pool = build_pool(
+        workload.queries[: min(300, workload.size)], optimizer
+    )
+    configs = enumerate_configurations(
+        pool, args.k, np.random.default_rng(args.seed)
+    )
+    source = OptimizerCostSource(workload, configs, optimizer)
+    exhaustive = workload.size * args.k
+
+    if args.tournament:
+        result = knockout_tournament(
+            source, workload.template_ids, alpha=args.alpha,
+            delta=args.delta, rng=np.random.default_rng(args.seed + 1),
+        )
+        print(f"tournament winner : {configs[result.best_index].name}")
+        print(f"end-to-end guarantee >= {result.guarantee:.3f}")
+        print(f"rounds            : {result.round_count}")
+        calls = result.optimizer_calls
+    else:
+        options = SelectorOptions(
+            alpha=args.alpha, delta=args.delta, scheme=args.scheme,
+            stratify=args.stratify,
+        )
+        result = ConfigurationSelector(
+            source, workload.template_ids, options,
+            rng=np.random.default_rng(args.seed + 1),
+        ).run()
+        print(f"selected          : {configs[result.best_index].name}")
+        print(f"Pr(CS)            : {result.prcs:.3f} "
+              f"(target {args.alpha})")
+        print(f"eliminated        : {len(result.eliminated)}")
+        calls = result.optimizer_calls
+    print(f"optimizer calls   : {calls} "
+          f"({calls / exhaustive:.1%} of exhaustive {exhaustive})")
+    if args.verify:
+        totals = [workload.total_cost(optimizer, c) for c in configs]
+        best = int(np.argmin(totals))
+        ok = best == result.best_index
+        print(f"ground truth      : {configs[best].name} -> "
+              f"{'correct' if ok else 'WRONG'}")
+        return 0 if ok else 1
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .compression import (
+        compress_by_clustering,
+        compress_by_cost,
+        compress_random,
+    )
+    from .physical import Configuration
+    from .tuner import GreedyTuner, evaluate_configuration
+
+    _schema, workload, optimizer = _load_setup(args)
+    costs = workload.cost_vector(optimizer, Configuration(name="current"))
+
+    if args.compress == "none":
+        indices = np.arange(workload.size)
+        weights = np.ones(workload.size)
+        label = "full workload"
+    elif args.compress == "by_cost":
+        cw = compress_by_cost(costs, args.param)
+        indices, weights, label = cw.indices, cw.weights, cw.method
+    elif args.compress == "clustering":
+        cw = compress_by_clustering(
+            costs, workload.template_ids, int(args.param)
+        )
+        indices, weights, label = cw.indices, cw.weights, cw.method
+    else:
+        cw = compress_random(
+            workload.size, int(args.param),
+            np.random.default_rng(args.seed),
+        )
+        indices, weights, label = cw.indices, cw.weights, cw.method
+
+    tuner = GreedyTuner(optimizer, max_structures=args.max_structures)
+    result = tuner.tune(
+        [workload.queries[i] for i in indices], weights=weights
+    )
+    quality = evaluate_configuration(
+        workload, optimizer, result.configuration
+    )
+    print(f"training workload : {label} ({len(indices)} statements)")
+    print(f"chosen structures : {len(result.chosen)}")
+    for structure in result.chosen:
+        print(f"  + {getattr(structure, 'name', structure)}")
+    print(f"full-workload improvement: {quality.improvement:.1%}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .experiments.report import format_kv, format_table
+    from .physical import Configuration
+    from .workload import profile_workload
+
+    _schema, workload, optimizer = _load_setup(args)
+    costs = workload.cost_vector(optimizer, Configuration(name="current"))
+    profile = profile_workload(workload, costs)
+    print(format_kv({
+        "statements": profile.size,
+        "templates": profile.template_count,
+        "DML fraction": f"{profile.dml_fraction:.1%}",
+        "total cost": f"{profile.total_cost:,.0f}",
+        "cost skewness (G1)": f"{profile.cost_skewness:.2f}",
+        "p99 / median cost": f"{profile.cost_p99_over_median:.1f}",
+        "templates for 50% of cost": profile.templates_for_half_cost,
+        "heavy-tailed (S6 warning)": profile.heavy_tailed(),
+    }, title="workload profile"))
+    print()
+    rows = [
+        [t.name, t.count, f"{t.share:.1%}", f"{t.cost_share:.1%}",
+         f"{t.mean_cost:,.1f}", f"{t.cv:.2f}"]
+        for t in profile.top_templates
+    ]
+    print(format_table(
+        ["template", "count", "share", "cost share", "mean cost", "cv"],
+        rows, title="top templates by cost share",
+    ))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .optimizer import explain_plan
+    from .physical import Configuration
+    from .queries import render_query
+
+    _schema, workload, optimizer = _load_setup(args)
+    if not (0 <= args.query < workload.size):
+        print(f"error: --query must be in [0, {workload.size})",
+              file=sys.stderr)
+        return 2
+    query = workload[args.query]
+    print(render_query(query))
+    print()
+    print("-- current (no structures):")
+    print(explain_plan(optimizer.plan(query, Configuration(name="none"))))
+    print()
+    print("-- ideal configuration:")
+    ideal = optimizer.ideal_configuration(query)
+    print(explain_plan(optimizer.plan(query, ideal)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable exploration of physical database design "
+                    "(ICDE 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser(
+        "generate", help="trace a workload into a SQLite workload table"
+    )
+    _add_common(p_gen)
+    p_gen.add_argument("--out", default="workload.db",
+                       help="output SQLite path")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_cmp = sub.add_parser(
+        "compare", help="select the best of k enumerated configurations"
+    )
+    _add_common(p_cmp)
+    p_cmp.add_argument("--k", type=int, default=6,
+                       help="number of candidate configurations")
+    p_cmp.add_argument("--alpha", type=float, default=0.9,
+                       help="target probability of correct selection")
+    p_cmp.add_argument("--delta", type=float, default=0.0,
+                       help="sensitivity (cost units)")
+    p_cmp.add_argument("--scheme", choices=("delta", "independent"),
+                       default="delta")
+    p_cmp.add_argument("--stratify",
+                       choices=("progressive", "none", "fine"),
+                       default="progressive")
+    p_cmp.add_argument("--tournament", action="store_true",
+                       help="use the knockout-tournament strategy")
+    p_cmp.add_argument("--verify", action="store_true",
+                       help="exhaustively verify the selection")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_tune = sub.add_parser(
+        "tune", help="greedy physical design tuning"
+    )
+    _add_common(p_tune)
+    p_tune.add_argument("--compress",
+                        choices=("none", "by_cost", "clustering",
+                                 "random"),
+                        default="none")
+    p_tune.add_argument("--param", type=float, default=0.2,
+                        help="X for by_cost; target size for "
+                             "clustering/random")
+    p_tune.add_argument("--max-structures", type=int, default=6)
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_prof = sub.add_parser(
+        "profile", help="summarize a workload (templates, cost skew)"
+    )
+    _add_common(p_prof)
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_exp = sub.add_parser(
+        "explain", help="show a statement's plan (current vs ideal)"
+    )
+    _add_common(p_exp)
+    p_exp.add_argument("--query", type=int, default=0,
+                       help="workload position of the statement")
+    p_exp.set_defaults(func=_cmd_explain)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Workload-compression baselines from related work (§2, §7.3)."""
+
+from .base import CompressedWorkload
+from .by_cost import compress_by_cost
+from .clustering import compress_by_clustering, pairwise_distance_count
+from .random_sample import compress_random
+
+__all__ = [
+    "CompressedWorkload",
+    "compress_by_cost",
+    "compress_by_clustering",
+    "pairwise_distance_count",
+    "compress_random",
+]

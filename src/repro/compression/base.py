@@ -1,0 +1,62 @@
+"""Common types for workload compression baselines.
+
+Workload compression (Section 2 / 7.3 of the paper) replaces a large
+workload with a small weighted subset *before* tuning.  Every
+compressor returns a :class:`CompressedWorkload`: the selected query
+positions, per-query weights (so total-cost estimates stay unbiased
+where the method defines weights) and bookkeeping about the
+preprocessing effort, which the scalability comparison of §7.3 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["CompressedWorkload"]
+
+
+@dataclass(frozen=True)
+class CompressedWorkload:
+    """A compressed (sub-)workload.
+
+    Attributes
+    ----------
+    indices:
+        Positions of the retained queries in the original workload.
+    weights:
+        Per-retained-query weights (1.0 for unweighted methods).
+    method:
+        Human-readable name of the compressor.
+    preprocessing_operations:
+        Number of elementary preprocessing operations performed
+        (distance computations for clustering, comparisons for
+        sorting); the unit of the §7.3 scalability comparison.
+    """
+
+    indices: np.ndarray
+    weights: np.ndarray
+    method: str
+    preprocessing_operations: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.weights):
+            raise ValueError(
+                f"{len(self.indices)} indices vs {len(self.weights)} weights"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of retained queries."""
+        return len(self.indices)
+
+    def weighted_total(self, costs: np.ndarray) -> float:
+        """Weighted total cost of the compressed workload.
+
+        ``costs`` is the per-query cost vector of the *original*
+        workload; only retained positions are read.
+        """
+        costs = np.asarray(costs, dtype=np.float64)
+        return float((costs[self.indices] * self.weights).sum())

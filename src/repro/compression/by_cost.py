@@ -1,0 +1,60 @@
+"""Workload compression by current cost (Zilio et al. [20]).
+
+"Queries are selected in order of their costs for the current
+configuration until a prespecified percentage X of the total workload
+cost is selected."  Computationally simple — one costing pass plus a
+sort — but quality-fragile: when a few templates contain the most
+expensive queries, the compressed workload covers only those templates
+and tuning misses design structures beneficial for everyone else
+(the failure mode demonstrated in §7.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CompressedWorkload
+
+__all__ = ["compress_by_cost"]
+
+
+def compress_by_cost(
+    current_costs: np.ndarray,
+    fraction: float,
+) -> CompressedWorkload:
+    """Retain the most expensive queries covering ``fraction`` of cost.
+
+    Parameters
+    ----------
+    current_costs:
+        Per-query optimizer cost in the *current* configuration.
+    fraction:
+        The X parameter in (0, 1]: the share of total workload cost the
+        retained queries must cover.
+
+    Returns
+    -------
+    CompressedWorkload
+        Retained positions in descending cost order, unweighted
+        (weights of 1.0), as in [20].
+    """
+    costs = np.asarray(current_costs, dtype=np.float64)
+    if costs.ndim != 1 or len(costs) == 0:
+        raise ValueError("current_costs must be a non-empty 1-D array")
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    order = np.argsort(-costs, kind="stable")
+    total = costs.sum()
+    if total <= 0:
+        indices = order[:1]
+    else:
+        cum = np.cumsum(costs[order])
+        cutoff = int(np.searchsorted(cum, fraction * total, side="left"))
+        indices = order[: cutoff + 1]
+    ops = int(len(costs) * max(1, np.log2(max(2, len(costs)))))  # sort
+    return CompressedWorkload(
+        indices=np.asarray(indices),
+        weights=np.ones(len(indices)),
+        method=f"by_cost(X={fraction:g})",
+        preprocessing_operations=ops,
+    )

@@ -1,0 +1,42 @@
+"""Uniform random-sample compression baseline.
+
+The §7.3 comparison tunes "5 different random samples of the same size
+as the compressed workload"; this module provides that baseline (and
+the Delta-sample stand-in, which for tuning purposes is also a uniform
+sample — the primitive's machinery matters for *comparison*, not for
+the sample itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CompressedWorkload
+
+__all__ = ["compress_random"]
+
+
+def compress_random(
+    n_queries: int,
+    target_size: int,
+    rng: np.random.Generator,
+) -> CompressedWorkload:
+    """A uniform without-replacement sample with unbiased weights.
+
+    Each retained query carries weight ``N / m`` so that weighted
+    totals estimate the full workload's total cost.
+    """
+    if target_size < 1 or target_size > n_queries:
+        raise ValueError(
+            f"target_size must be in [1, {n_queries}], got {target_size}"
+        )
+    indices = np.sort(
+        rng.choice(n_queries, size=target_size, replace=False)
+    )
+    weight = n_queries / target_size
+    return CompressedWorkload(
+        indices=indices.astype(np.int64),
+        weights=np.full(target_size, weight),
+        method=f"random(m={target_size})",
+        preprocessing_operations=0,
+    )

@@ -1,0 +1,65 @@
+"""The paper's contribution: the probabilistic comparison primitive.
+
+Sampling schemes (:mod:`~repro.core.estimators`), probability of
+correct selection (:mod:`~repro.core.prcs`), workload stratification
+(:mod:`~repro.core.stratification`, :mod:`~repro.core.progressive`),
+sample allocation (:mod:`~repro.core.allocation`) and the selection
+procedure itself (:mod:`~repro.core.selector`).
+"""
+
+from .batching import BatchingComparison, BatchingResult
+from .allocation import pick_delta_stratum, pick_independent, \
+    variance_reduction
+from .estimators import (
+    DeltaState,
+    IndependentState,
+    MomentGrid,
+    StratumStats,
+    TemplateSampler,
+)
+from .prcs import bonferroni, pair_target_variance, pairwise_prcs, \
+    per_pair_alpha
+from .progressive import SplitDecision, estimate_stratum_variance, \
+    propose_split
+from .selector import ConfigurationSelector, SelectionResult, \
+    SelectorOptions
+from .sources import CostSource, MatrixCostSource, OptimizerCostSource
+from .tournament import TournamentResult, knockout_tournament
+from .stratification import (
+    Stratification,
+    allocation_variance,
+    neyman_allocation,
+    samples_needed,
+)
+
+__all__ = [
+    "BatchingComparison",
+    "BatchingResult",
+    "pick_delta_stratum",
+    "pick_independent",
+    "variance_reduction",
+    "DeltaState",
+    "IndependentState",
+    "MomentGrid",
+    "StratumStats",
+    "TemplateSampler",
+    "bonferroni",
+    "pair_target_variance",
+    "pairwise_prcs",
+    "per_pair_alpha",
+    "SplitDecision",
+    "estimate_stratum_variance",
+    "propose_split",
+    "ConfigurationSelector",
+    "SelectionResult",
+    "SelectorOptions",
+    "CostSource",
+    "MatrixCostSource",
+    "OptimizerCostSource",
+    "TournamentResult",
+    "knockout_tournament",
+    "Stratification",
+    "allocation_variance",
+    "neyman_allocation",
+    "samples_needed",
+]

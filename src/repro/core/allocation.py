@@ -1,0 +1,123 @@
+"""Next-sample selection policies (Section 5.2 of the paper).
+
+Ideally the next (query, configuration) evaluation would maximize
+``Pr(CS)``; the paper uses the tractable greedy surrogate of minimizing
+the *sum of estimator variances*, assuming sample means and variances
+stay unchanged.  Adding one sample to stratum ``h`` (current allocation
+``n_h``) changes that stratum's variance contribution from
+
+    |WL_h|^2 * s_h^2 / n_h * (1 - n_h/|WL_h|)
+
+to the same expression at ``n_h + 1``; the policy picks the
+(configuration and) stratum with the largest reduction.  For Delta
+Sampling, the sampled query is evaluated in every configuration, so
+only the stratum is chosen — by the largest reduction summed over the
+active pairwise difference estimators.
+
+When per-evaluation optimizer overheads differ, the reduction is
+divided by the expected overhead of the stratum/configuration pair
+(``overheads`` argument), matching the paper's closing remark in §5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["variance_reduction", "pick_independent", "pick_delta_stratum"]
+
+
+def variance_reduction(
+    size: float, s2: float, n: int
+) -> float:
+    """Variance drop from sampling one more query in a stratum."""
+    if s2 <= 0 or size <= 1 or n >= size:
+        return 0.0
+    if n <= 0:
+        return float("inf")
+    current = size * size * s2 / n * (1.0 - n / size)
+    nxt = size * size * s2 / (n + 1) * (1.0 - (n + 1) / size)
+    return max(0.0, current - nxt)
+
+
+def pick_independent(
+    stratum_sizes: np.ndarray,
+    stratum_vars: Sequence[np.ndarray],
+    stratum_counts: Sequence[np.ndarray],
+    exhausted: Sequence[np.ndarray],
+    overheads: Optional[Sequence[np.ndarray]] = None,
+) -> Optional[Tuple[int, int]]:
+    """Choose ``(configuration, stratum)`` for Independent Sampling.
+
+    Parameters
+    ----------
+    stratum_sizes:
+        ``|WL_h|`` per stratum (shared across configurations).
+    stratum_vars / stratum_counts:
+        Per configuration: per-stratum sample variance and sample
+        count arrays.
+    exhausted:
+        Per configuration: boolean array marking strata with no
+        unsampled queries left for that configuration.
+    overheads:
+        Optional per (configuration, stratum) expected evaluation
+        overheads; reductions are divided by them.
+
+    Returns
+    -------
+    (config, stratum) or None
+        ``None`` when every stratum of every configuration is
+        exhausted.
+    """
+    best: Optional[Tuple[int, int]] = None
+    best_score = -1.0
+    for config, (vars_h, counts_h, done_h) in enumerate(
+        zip(stratum_vars, stratum_counts, exhausted)
+    ):
+        for h in range(len(stratum_sizes)):
+            if done_h[h]:
+                continue
+            red = variance_reduction(
+                float(stratum_sizes[h]), float(vars_h[h]), int(counts_h[h])
+            )
+            if overheads is not None:
+                cost = max(1e-12, float(overheads[config][h]))
+                red = red / cost
+            if red > best_score:
+                best_score = red
+                best = (config, h)
+    return best
+
+
+def pick_delta_stratum(
+    stratum_sizes: np.ndarray,
+    pair_stratum_vars: Sequence[np.ndarray],
+    stratum_counts: np.ndarray,
+    exhausted: np.ndarray,
+    overheads: Optional[np.ndarray] = None,
+) -> Optional[int]:
+    """Choose the stratum for Delta Sampling.
+
+    ``pair_stratum_vars`` holds, for each active pairwise difference
+    estimator, its per-stratum sample variances; reductions are summed
+    over pairs (minimizing the sum of the variances of all estimators,
+    §5.2).
+    """
+    best: Optional[int] = None
+    best_score = -1.0
+    for h in range(len(stratum_sizes)):
+        if exhausted[h]:
+            continue
+        total = 0.0
+        for vars_h in pair_stratum_vars:
+            total += variance_reduction(
+                float(stratum_sizes[h]), float(vars_h[h]),
+                int(stratum_counts[h]),
+            )
+        if overheads is not None:
+            total = total / max(1e-12, float(overheads[h]))
+        if total > best_score:
+            best_score = total
+            best = h
+    return best

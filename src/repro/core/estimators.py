@@ -1,0 +1,468 @@
+"""Sampling state and estimators for Independent and Delta sampling.
+
+Implements Section 4 of the paper:
+
+* **Independent Sampling** (§4.1) draws a separate uniform sample per
+  configuration and estimates each total cost
+  ``X_i = N / |SL_i| * sum Cost(q, C_i)`` (stratified generalization:
+  ``X_i = sum_h |WL_h| * mean_h``).
+* **Delta Sampling** (§4.2) draws a *single* shared sample, evaluates
+  it in every (active) configuration and estimates cost differences
+  ``X_{l,j}`` directly, profiting from the positive covariance of query
+  costs across configurations.
+
+Bookkeeping is per (configuration, template): templates are the atoms
+of every stratification (§5), so stratum-level statistics pool template
+accumulators and re-stratification costs nothing — matching the paper's
+claim that "all necessary counters and measurements can be maintained
+incrementally at constant cost".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .sources import CostSource
+from .stratification import Stratification
+
+__all__ = [
+    "TemplateSampler",
+    "MomentGrid",
+    "StratumStats",
+    "IndependentState",
+    "DeltaState",
+]
+
+
+class TemplateSampler:
+    """Uniform without-replacement sampling from templates and strata.
+
+    Each template's query positions are shuffled once; a cursor walks
+    the shuffle.  Drawing from a stratum picks a member template with
+    probability proportional to its *remaining* unsampled queries,
+    which makes the stratum draw a simple random sample of the stratum
+    — and, restricted to any template, a simple random sample of the
+    template, so samples survive re-stratification unchanged.
+    """
+
+    def __init__(
+        self,
+        indices_by_template: Dict[int, np.ndarray],
+        rng: np.random.Generator,
+    ) -> None:
+        self._order: Dict[int, np.ndarray] = {}
+        self._cursor: Dict[int, int] = {}
+        for tid, indices in indices_by_template.items():
+            self._order[tid] = rng.permutation(np.asarray(indices))
+            self._cursor[tid] = 0
+
+    def remaining(self, template_id: int) -> int:
+        """Unsampled queries left in one template."""
+        return len(self._order[template_id]) - self._cursor[template_id]
+
+    def remaining_in(self, templates: Iterable[int]) -> int:
+        """Unsampled queries left in a union of templates."""
+        return sum(self.remaining(t) for t in templates)
+
+    def drawn(self, template_id: int) -> int:
+        """Number of queries drawn so far from one template."""
+        return self._cursor[template_id]
+
+    def drawn_order(self, template_id: int) -> np.ndarray:
+        """The query positions drawn so far, in draw order."""
+        return self._order[template_id][: self._cursor[template_id]]
+
+    def draw_from_template(self, template_id: int) -> Optional[int]:
+        """Next unsampled query of a template (``None`` if exhausted)."""
+        cur = self._cursor[template_id]
+        if cur >= len(self._order[template_id]):
+            return None
+        self._cursor[template_id] = cur + 1
+        return int(self._order[template_id][cur])
+
+    def draw_from_stratum(
+        self, templates: Sequence[int], rng: np.random.Generator
+    ) -> Optional[Tuple[int, int]]:
+        """Uniformly draw one unsampled query from a union of templates.
+
+        Returns ``(query_idx, template_id)`` or ``None`` when the
+        stratum is exhausted.
+        """
+        weights = np.array(
+            [self.remaining(t) for t in templates], dtype=np.float64
+        )
+        total = weights.sum()
+        if total <= 0:
+            return None
+        pick = int(rng.choice(len(templates), p=weights / total))
+        tid = templates[pick]
+        qidx = self.draw_from_template(tid)
+        assert qidx is not None
+        return qidx, tid
+
+
+class MomentGrid:
+    """Welford accumulators per (configuration, template).
+
+    Stores count / mean / M2 in dense ``(k, T)`` arrays so stratum
+    pooling is vectorized across configurations.
+    """
+
+    def __init__(self, n_configs: int, n_templates: int) -> None:
+        self.count = np.zeros((n_configs, n_templates), dtype=np.int64)
+        self.mean = np.zeros((n_configs, n_templates), dtype=np.float64)
+        self.m2 = np.zeros((n_configs, n_templates), dtype=np.float64)
+
+    def add(self, config: int, template: int, value: float) -> None:
+        """Welford single-value update."""
+        n = self.count[config, template] + 1
+        self.count[config, template] = n
+        delta = value - self.mean[config, template]
+        self.mean[config, template] += delta / n
+        self.m2[config, template] += delta * (
+            value - self.mean[config, template]
+        )
+
+    def template_counts(self, config: int) -> np.ndarray:
+        """Per-template sample counts for one configuration."""
+        return self.count[config]
+
+
+class StratumStats:
+    """Pooled per-stratum sample statistics for one configuration."""
+
+    def __init__(
+        self, n: np.ndarray, mean: np.ndarray, var: np.ndarray
+    ) -> None:
+        self.n = n          #: samples per stratum
+        self.mean = mean    #: sample mean per stratum
+        self.var = var      #: sample variance (s^2) per stratum
+
+
+def _pool_templates(
+    grid: MomentGrid,
+    config: int,
+    strat: Stratification,
+    fallback_var: Optional[float] = None,
+) -> StratumStats:
+    """Pool template accumulators into per-stratum statistics.
+
+    Pooled mean is the plain sample mean of the stratum; pooled M2 is
+    the exact within-stratum sum of squared deviations.  Strata with a
+    single sample fall back to ``fallback_var`` (the configuration's
+    overall sample variance) so they never report zero variance.
+    """
+    L = strat.stratum_count
+    n = np.zeros(L, dtype=np.int64)
+    mean = np.zeros(L, dtype=np.float64)
+    var = np.zeros(L, dtype=np.float64)
+    counts = grid.count[config]
+    means = grid.mean[config]
+    m2s = grid.m2[config]
+
+    if fallback_var is None:
+        total_n = int(counts.sum())
+        if total_n >= 2:
+            overall = float((counts * means).sum() / total_n)
+            total_m2 = float(
+                (m2s + counts * (means - overall) ** 2).sum()
+            )
+            fallback_var = total_m2 / (total_n - 1)
+        else:
+            fallback_var = 0.0
+
+    for h, stratum in enumerate(strat.strata):
+        tids = np.fromiter(stratum, dtype=np.int64)
+        c = counts[tids]
+        n_h = int(c.sum())
+        n[h] = n_h
+        if n_h == 0:
+            mean[h] = np.nan
+            var[h] = np.inf
+            continue
+        m_h = float((c * means[tids]).sum() / n_h)
+        mean[h] = m_h
+        if n_h >= 2:
+            m2_h = float(
+                (m2s[tids] + c * (means[tids] - m_h) ** 2).sum()
+            )
+            var[h] = m2_h / (n_h - 1)
+        else:
+            var[h] = fallback_var
+    return StratumStats(n, mean, var)
+
+
+def _stratified_estimate(
+    stats: StratumStats, strat: Stratification
+) -> Tuple[float, float]:
+    """Stratified total estimate and its variance (equation 5).
+
+    Strata with no samples contribute the average of the observed
+    strata means (unbiased fallback only during transient states; the
+    selection procedure pilots every new stratum before relying on the
+    estimate) and infinite variance, which prevents premature
+    termination.
+    """
+    sizes = strat.sizes.astype(np.float64)
+    total = 0.0
+    variance = 0.0
+    observed = stats.n > 0
+    fallback_mean = (
+        float(np.average(stats.mean[observed], weights=sizes[observed]))
+        if observed.any()
+        else 0.0
+    )
+    for h in range(strat.stratum_count):
+        size = sizes[h]
+        if stats.n[h] == 0:
+            total += size * fallback_mean
+            variance = float("inf")
+            continue
+        total += size * stats.mean[h]
+        if size > 1 and stats.var[h] > 0:
+            fpc = max(0.0, 1.0 - stats.n[h] / size)
+            variance += size * size * stats.var[h] / stats.n[h] * fpc
+    return total, variance
+
+
+class IndependentState:
+    """Sampling state for Independent Sampling (§4.1).
+
+    Every configuration owns an independent :class:`TemplateSampler`
+    (its own shuffles) and its own accumulators; sample sizes per
+    configuration may differ.
+    """
+
+    def __init__(
+        self,
+        n_configs: int,
+        n_templates: int,
+        indices_by_template: Dict[int, np.ndarray],
+        rng: np.random.Generator,
+    ) -> None:
+        self.n_configs = n_configs
+        self.n_templates = n_templates
+        self.grid = MomentGrid(n_configs, n_templates)
+        self.samplers = [
+            TemplateSampler(indices_by_template, rng)
+            for _ in range(n_configs)
+        ]
+
+    def sample_one(
+        self,
+        config: int,
+        stratum_templates: Sequence[int],
+        source: CostSource,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Draw and evaluate one query for ``config`` from a stratum.
+
+        Returns ``False`` when the stratum is exhausted for this
+        configuration.
+        """
+        drawn = self.samplers[config].draw_from_stratum(
+            stratum_templates, rng
+        )
+        if drawn is None:
+            return False
+        qidx, tid = drawn
+        self.grid.add(config, tid, source.cost(qidx, config))
+        return True
+
+    def sample_count(self, config: int) -> int:
+        """Total queries sampled for one configuration."""
+        return int(self.grid.count[config].sum())
+
+    def stratum_stats(
+        self, config: int, strat: Stratification
+    ) -> StratumStats:
+        """Pooled per-stratum statistics for one configuration."""
+        return _pool_templates(self.grid, config, strat)
+
+    def estimate(
+        self, config: int, strat: Stratification
+    ) -> Tuple[float, float]:
+        """``(X_i, Var(X_i))`` under the given stratification."""
+        return _stratified_estimate(self.stratum_stats(config, strat),
+                                    strat)
+
+
+class _AlignedBuffers:
+    """Per-template cost buffers aligned to the shared draw order.
+
+    For Delta Sampling, template ``t``'s shared draw order is fixed by
+    the single :class:`TemplateSampler`; configuration ``c``'s buffer
+    holds the costs of the first ``m_{c,t}`` drawn queries (all of
+    them while ``c`` is active — eliminated configurations simply stop
+    extending their buffers).
+    """
+
+    def __init__(self, n_configs: int, n_templates: int) -> None:
+        self._values: List[List[List[float]]] = [
+            [[] for _ in range(n_templates)] for _ in range(n_configs)
+        ]
+
+    def append(self, config: int, template: int, value: float) -> None:
+        self._values[config][template].append(value)
+
+    def length(self, config: int, template: int) -> int:
+        return len(self._values[config][template])
+
+    def array(self, config: int, template: int,
+              limit: Optional[int] = None) -> np.ndarray:
+        vals = self._values[config][template]
+        if limit is not None:
+            vals = vals[:limit]
+        return np.asarray(vals, dtype=np.float64)
+
+
+class DeltaState:
+    """Sampling state for Delta Sampling (§4.2).
+
+    One shared sample; every drawn query is evaluated in all *active*
+    configurations.  Pairwise difference statistics are computed from
+    aligned per-template buffers, so the estimator of ``X_{l,j}`` uses
+    exactly the queries both configurations have evaluated.
+    """
+
+    def __init__(
+        self,
+        n_configs: int,
+        n_templates: int,
+        indices_by_template: Dict[int, np.ndarray],
+        rng: np.random.Generator,
+    ) -> None:
+        self.n_configs = n_configs
+        self.n_templates = n_templates
+        self.grid = MomentGrid(n_configs, n_templates)
+        self.sampler = TemplateSampler(indices_by_template, rng)
+        self.buffers = _AlignedBuffers(n_configs, n_templates)
+        # Templates that have received at least one draw: pairwise
+        # statistics only need to visit these (a large workload may
+        # have hundreds of templates, most untouched early on).
+        self._touched: set = set()
+
+    def sample_one(
+        self,
+        stratum_templates: Sequence[int],
+        source: CostSource,
+        rng: np.random.Generator,
+        active_configs: Sequence[int],
+    ) -> bool:
+        """Draw one shared query and evaluate it in all active configs.
+
+        Returns ``False`` when the stratum is exhausted.
+        """
+        drawn = self.sampler.draw_from_stratum(stratum_templates, rng)
+        if drawn is None:
+            return False
+        qidx, tid = drawn
+        self._touched.add(tid)
+        for config in active_configs:
+            value = source.cost(qidx, config)
+            self.grid.add(config, tid, value)
+            self.buffers.append(config, tid, value)
+        return True
+
+    def sample_count(self) -> int:
+        """Total shared queries sampled so far."""
+        return sum(
+            self.sampler.drawn(t)
+            for t in self.sampler._order  # noqa: SLF001 - own class family
+        )
+
+    def estimate_total(
+        self, config: int, strat: Stratification
+    ) -> Tuple[float, float]:
+        """Stratified ``(X_i, Var(X_i))`` from the shared sample."""
+        return _stratified_estimate(
+            _pool_templates(self.grid, config, strat), strat
+        )
+
+    # ------------------------------------------------------------------
+    # pairwise difference statistics
+    # ------------------------------------------------------------------
+    def diff_template_moments(
+        self, l: int, j: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-template ``(count, mean, M2)`` of ``Cost(q,C_l)-Cost(q,C_j)``.
+
+        Uses the aligned prefix both configurations have evaluated.
+        """
+        T = self.n_templates
+        counts = np.zeros(T, dtype=np.int64)
+        means = np.zeros(T, dtype=np.float64)
+        m2s = np.zeros(T, dtype=np.float64)
+        for t in self._touched:
+            m = min(self.buffers.length(l, t), self.buffers.length(j, t))
+            if m == 0:
+                continue
+            diff = self.buffers.array(l, t, m) - self.buffers.array(j, t, m)
+            counts[t] = m
+            means[t] = float(diff.mean())
+            if m >= 2:
+                m2s[t] = float(((diff - diff.mean()) ** 2).sum())
+        return counts, means, m2s
+
+    def pair_estimate(
+        self, l: int, j: int, strat: Stratification
+    ) -> Tuple[float, float]:
+        """``(X_{l,j}, Var(X_{l,j}))`` under the given stratification.
+
+        ``X_{l,j}`` estimates ``Cost(WL,C_l) - Cost(WL,C_j)``; negative
+        means ``C_l`` looks better.
+        """
+        counts, means, m2s = self.diff_template_moments(l, j)
+        # Pool templates into strata, mirroring _pool_templates but on
+        # the difference moments.
+        L = strat.stratum_count
+        sizes = strat.sizes.astype(np.float64)
+        total_n = int(counts.sum())
+        if total_n >= 2:
+            overall = float((counts * means).sum() / total_n)
+            fallback_var = float(
+                (m2s + counts * (means - overall) ** 2).sum()
+            ) / (total_n - 1)
+        else:
+            fallback_var = 0.0
+        estimate = 0.0
+        variance = 0.0
+        observed_means = []
+        observed_sizes = []
+        per_stratum = []
+        for h, stratum in enumerate(strat.strata):
+            tids = np.fromiter(stratum, dtype=np.int64)
+            c = counts[tids]
+            n_h = int(c.sum())
+            if n_h == 0:
+                per_stratum.append((h, None, None))
+                continue
+            m_h = float((c * means[tids]).sum() / n_h)
+            if n_h >= 2:
+                s2_h = float(
+                    (m2s[tids] + c * (means[tids] - m_h) ** 2).sum()
+                ) / (n_h - 1)
+            else:
+                s2_h = fallback_var
+            observed_means.append(m_h)
+            observed_sizes.append(sizes[h])
+            per_stratum.append((h, m_h, (n_h, s2_h)))
+        fallback_mean = (
+            float(np.average(observed_means, weights=observed_sizes))
+            if observed_means
+            else 0.0
+        )
+        for h, m_h, extra in per_stratum:
+            size = sizes[h]
+            if m_h is None:
+                estimate += size * fallback_mean
+                variance = float("inf")
+                continue
+            n_h, s2_h = extra
+            estimate += size * m_h
+            if size > 1 and s2_h > 0:
+                fpc = max(0.0, 1.0 - n_h / size)
+                variance += size * size * s2_h / n_h * fpc
+        return estimate, variance

@@ -1,0 +1,105 @@
+"""Probability of correct selection: pairwise estimates and combination.
+
+Section 4 of the paper: having picked the configuration with the
+smallest estimated cost, the probability that this choice is correct
+with respect to one alternative ``C_j`` is assessed through the
+standardized statistic ``Delta_{l,j} ~ N(0,1)``.  Operationally, with
+observed gap ``g = X_j - X_l >= 0`` (the selected configuration looked
+better by ``g``) and estimated standard error ``se`` of the difference
+estimator, the selection is wrong only if the true difference exceeds
+the sensitivity ``delta`` in the other direction, hence
+
+    Pr(CS_{l,j}) = Phi((g + delta) / se).
+
+For ``k > 2`` configurations, the Bonferroni inequality (equation 3)
+gives ``Pr(CS) >= 1 - sum_j (1 - Pr(CS_{l,j}))``.
+
+The same normal machinery inverts into *target variances*: the
+variance the difference estimator must reach so that a pair meets its
+share of the overall target probability — the quantity the progressive
+stratification algorithm's ``#Samples`` estimates are built on (§5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from scipy.stats import norm
+
+__all__ = [
+    "pairwise_prcs",
+    "bonferroni",
+    "per_pair_alpha",
+    "pair_target_variance",
+]
+
+
+def pairwise_prcs(gap: float, variance: float, delta: float = 0.0) -> float:
+    """``Pr(CS_{l,j})`` for one pair.
+
+    Parameters
+    ----------
+    gap:
+        Observed estimate of ``Cost(WL, C_j) - Cost(WL, C_l)`` where
+        ``C_l`` is the selected configuration (usually positive).
+    variance:
+        Estimated variance of the difference estimator (``Var(X_l) +
+        Var(X_j)`` for Independent Sampling, ``Var(X_{l,j})`` for Delta
+        Sampling).
+    delta:
+        The sensitivity parameter: differences below ``delta`` do not
+        count as incorrect selections.
+    """
+    margin = gap + delta
+    if math.isinf(variance):
+        return 0.0
+    if variance <= 0.0:
+        # Exhaustive or degenerate sample: the estimate is exact.
+        if margin > 0:
+            return 1.0
+        if margin < 0:
+            return 0.0
+        return 0.5
+    return float(norm.cdf(margin / math.sqrt(variance)))
+
+
+def bonferroni(pairwise: Sequence[float]) -> float:
+    """Lower bound on ``Pr(CS)`` from pairwise probabilities (eq. 3)."""
+    total = 1.0 - sum(1.0 - p for p in pairwise)
+    return max(0.0, min(1.0, total))
+
+
+def per_pair_alpha(alpha: float, k_active: int) -> float:
+    """Per-pair probability target that Bonferroni-combines to ``alpha``.
+
+    With ``k_active`` configurations still in play there are
+    ``k_active - 1`` comparisons against the selected one; requiring
+    each at ``1 - (1 - alpha)/(k_active - 1)`` suffices.
+    """
+    if not (0.0 < alpha < 1.0):
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if k_active < 2:
+        return alpha
+    return 1.0 - (1.0 - alpha) / (k_active - 1)
+
+
+def pair_target_variance(
+    gap: float, delta: float, alpha_pair: float
+) -> float:
+    """Variance the difference estimator must reach for one pair.
+
+    Inverts :func:`pairwise_prcs`: ``Phi((gap + delta)/sqrt(V)) >=
+    alpha_pair`` iff ``V <= ((gap + delta)/z)^2`` with
+    ``z = Phi^{-1}(alpha_pair)``.  Returns ``0`` when the pair cannot
+    be separated at this gap (forcing a full evaluation of the pair —
+    typically prevented by the sensitivity ``delta``), and ``inf`` when
+    any variance suffices.
+    """
+    margin = gap + delta
+    z = float(norm.ppf(alpha_pair))
+    if z <= 0:
+        return float("inf")
+    if margin <= 0:
+        return 0.0
+    return (margin / z) ** 2

@@ -1,0 +1,196 @@
+"""Progressive stratification: Algorithm 2 of the paper.
+
+Starting from a single stratum, the selection procedure repeatedly
+considers refining the stratification by splitting one existing stratum
+in two at a template boundary, ordered by average template cost.  A
+split is adopted when the estimated total number of samples needed to
+reach the target variance — ``#Samples(C_i, ST, NT)``, computed via
+Neyman allocation and binary search (:mod:`repro.core.stratification`)
+— decreases.
+
+Only one stratum is split per step, and only strata whose expected
+allocation is at least ``2 * n_min`` are considered (each new stratum
+must support a normal estimate of its own).  Stratum variances for
+candidate splits are estimated from per-template running statistics:
+
+    S^2_h  ~=  sum_t (N_t / N_h) * (s_t^2 + (m_t - m_h)^2)
+
+the within-template variance plus the between-template spread, which is
+exactly what makes template-aligned strata effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .stratification import (
+    Stratification,
+    neyman_allocation,
+    samples_needed,
+)
+
+__all__ = ["SplitDecision", "estimate_stratum_variance", "propose_split"]
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """The outcome of a profitable split search."""
+
+    stratum_idx: int
+    left: Tuple[int, ...]
+    right: Tuple[int, ...]
+    expected_samples: int
+    baseline_samples: int
+
+    @property
+    def saving(self) -> int:
+        """Expected optimizer calls saved by adopting the split."""
+        return self.baseline_samples - self.expected_samples
+
+
+def estimate_stratum_variance(
+    templates: Sequence[int],
+    template_sizes: np.ndarray,
+    template_means: np.ndarray,
+    template_vars: np.ndarray,
+) -> float:
+    """Estimate a (candidate) stratum's population variance.
+
+    Combines within-template sample variances with the between-template
+    spread of means, weighting templates by their workload share.
+    """
+    tids = np.fromiter(templates, dtype=np.int64)
+    sizes = template_sizes[tids].astype(np.float64)
+    total = sizes.sum()
+    if total <= 0:
+        return 0.0
+    means = template_means[tids]
+    variances = np.maximum(0.0, template_vars[tids])
+    m_h = float((sizes * means).sum() / total)
+    return float(
+        (sizes * (variances + (means - m_h) ** 2)).sum() / total
+    )
+
+
+def _strata_variances(
+    strat: Stratification,
+    template_sizes: np.ndarray,
+    template_means: np.ndarray,
+    template_vars: np.ndarray,
+) -> np.ndarray:
+    return np.array(
+        [
+            estimate_stratum_variance(
+                stratum, template_sizes, template_means, template_vars
+            )
+            for stratum in strat.strata
+        ]
+    )
+
+
+def propose_split(
+    strat: Stratification,
+    template_sizes: np.ndarray,
+    template_counts: np.ndarray,
+    template_means: np.ndarray,
+    template_vars: np.ndarray,
+    target_var: float,
+    n_min: int,
+) -> Optional[SplitDecision]:
+    """Search for the most profitable single-stratum split (Algorithm 2).
+
+    Parameters
+    ----------
+    strat:
+        The current stratification.
+    template_sizes / template_counts / template_means / template_vars:
+        Dense per-template arrays: workload sizes, samples drawn so
+        far, running mean and running sample variance of the quantity
+        being estimated (per-configuration costs for Independent
+        Sampling; cost differences of the binding pair for Delta
+        Sampling, which uses a single ranking across pairs).
+    target_var:
+        The variance the estimator must reach (from
+        :func:`repro.core.prcs.pair_target_variance`).
+    n_min:
+        Minimum per-stratum sample size for normality.
+
+    Returns
+    -------
+    SplitDecision or None
+        ``None`` when no split reduces the expected total sample count.
+    """
+    if not np.isfinite(target_var) or target_var <= 0:
+        return None
+
+    sizes = strat.sizes
+    sampled = np.array(
+        [
+            int(template_counts[np.fromiter(s, dtype=np.int64)].sum())
+            for s in strat.strata
+        ],
+        dtype=np.int64,
+    )
+    floors = np.maximum(np.minimum(n_min, sizes), sampled)
+    variances = _strata_variances(
+        strat, template_sizes, template_means, template_vars
+    )
+    baseline = samples_needed(sizes, variances, target_var, floors=floors)
+
+    # Expected allocation at the baseline total (line 7 of Algorithm 2).
+    expected_alloc = neyman_allocation(
+        sizes, np.sqrt(variances), baseline, floors=floors
+    )
+
+    best: Optional[SplitDecision] = None
+    for h, stratum in enumerate(strat.strata):
+        if len(stratum) < 2:
+            continue
+        if expected_alloc[h] < 2 * n_min:
+            continue
+        tids = np.fromiter(stratum, dtype=np.int64)
+        # Require cost estimates for every member template before
+        # ordering them (Section 5.1: "once we have seen a small number
+        # of queries for each template").
+        if (template_counts[tids] == 0).any():
+            continue
+        order = np.argsort(template_means[tids], kind="stable")
+        ordered = [int(t) for t in tids[order]]
+        for cut in range(1, len(ordered)):
+            left = tuple(ordered[:cut])
+            right = tuple(ordered[cut:])
+            candidate = strat.split(h, left, right)
+            cand_sampled = np.array(
+                [
+                    int(
+                        template_counts[
+                            np.fromiter(s, dtype=np.int64)
+                        ].sum()
+                    )
+                    for s in candidate.strata
+                ],
+                dtype=np.int64,
+            )
+            cand_floors = np.maximum(
+                np.minimum(n_min, candidate.sizes), cand_sampled
+            )
+            cand_vars = _strata_variances(
+                candidate, template_sizes, template_means, template_vars
+            )
+            needed = samples_needed(
+                candidate.sizes, cand_vars, target_var, floors=cand_floors
+            )
+            if needed < baseline and (
+                best is None or needed < best.expected_samples
+            ):
+                best = SplitDecision(
+                    stratum_idx=h,
+                    left=left,
+                    right=right,
+                    expected_samples=needed,
+                    baseline_samples=baseline,
+                )
+    return best

@@ -1,0 +1,742 @@
+"""The configuration-selection procedure (Algorithm 1 of the paper).
+
+Given a cost source over a workload and ``k`` candidate configurations,
+:class:`ConfigurationSelector` incrementally samples queries, estimates
+the probability of correct selection after each round and terminates
+once the target probability ``alpha`` holds (for a configurable number
+of consecutive samples, guarding against oscillation — Section 7.2).
+
+Two sampling schemes (§4) and three stratification modes (§5) are
+supported:
+
+==================  ====================================================
+``scheme``          ``"independent"`` or ``"delta"``
+``stratify``        ``"progressive"`` (Algorithm 2), ``"none"``, or
+                    ``"fine"`` (one stratum per template up front —
+                    the strawman of Figure 2)
+==================  ====================================================
+
+Configurations whose pairwise ``Pr(CS_{l,j})`` exceeds an elimination
+threshold are dropped from further sampling (the large-``k``
+optimization of §5); they keep contributing their frozen estimates to
+the Bonferroni combination.
+
+Budgets are measured in *optimizer calls* — the unit the paper
+minimizes.  One Delta-Sampling draw costs one call per active
+configuration; one Independent-Sampling draw costs one call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .allocation import pick_delta_stratum, variance_reduction
+from .estimators import DeltaState, IndependentState
+from .prcs import (
+    bonferroni,
+    pair_target_variance,
+    pairwise_prcs,
+    per_pair_alpha,
+)
+from .progressive import propose_split
+from .sources import CostSource
+from .stratification import Stratification
+
+__all__ = ["SelectorOptions", "SelectionResult", "ConfigurationSelector"]
+
+
+@dataclass(frozen=True)
+class SelectorOptions:
+    """Tunables of the selection procedure.
+
+    Attributes
+    ----------
+    alpha:
+        Target probability of correct selection.
+    delta:
+        Sensitivity: cost differences below ``delta`` never count as
+        incorrect selections (expressed in absolute cost units).
+    scheme:
+        ``"delta"`` (default, §4.2) or ``"independent"`` (§4.1).
+    stratify:
+        ``"progressive"`` (default), ``"none"`` or ``"fine"``.
+    n_min:
+        Pilot/minimum stratum sample size (the paper's rule of thumb
+        is 30).
+    consecutive:
+        The termination condition must hold for this many consecutive
+        samples (§7.2 uses 10).
+    eliminate:
+        Drop configurations once their pairwise probability exceeds
+        ``elimination_threshold``.
+    elimination_threshold:
+        Pairwise ``Pr(CS_{l,j})`` beyond which ``C_j`` stops being
+        sampled (§7.2 uses 0.995).
+    max_calls:
+        Optional hard budget of optimizer calls; ``None`` means run to
+        termination (bounded by full evaluation).
+    reeval_every:
+        Recompute estimates/allocation every this many draws (1
+        reproduces the paper exactly; larger values trade a slightly
+        stale allocation for speed in Monte Carlo runs).
+    split_check_every:
+        How often (in draws) Algorithm 2 is consulted.
+    """
+
+    alpha: float = 0.9
+    delta: float = 0.0
+    scheme: str = "delta"
+    stratify: str = "progressive"
+    n_min: int = 30
+    consecutive: int = 10
+    eliminate: bool = True
+    elimination_threshold: float = 0.995
+    max_calls: Optional[int] = None
+    reeval_every: int = 1
+    split_check_every: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha < 1.0):
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.delta < 0:
+            raise ValueError(f"delta must be >= 0, got {self.delta}")
+        if self.scheme not in ("delta", "independent"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.stratify not in ("progressive", "none", "fine"):
+            raise ValueError(f"unknown stratify mode {self.stratify!r}")
+        if self.n_min < 2:
+            raise ValueError(f"n_min must be >= 2, got {self.n_min}")
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a selection run.
+
+    Attributes
+    ----------
+    best_index:
+        The selected configuration.
+    prcs:
+        The final estimated probability of correct selection.
+    optimizer_calls:
+        What-if calls spent (the paper's efficiency metric).
+    estimates:
+        Final estimated total costs per configuration.
+    eliminated:
+        Configurations dropped by the large-``k`` optimization.
+    stratum_counts:
+        Per-stratum workload sizes of the final stratification (Delta)
+        or per-configuration stratum counts (Independent).
+    terminated_by:
+        ``"alpha"``, ``"max_calls"`` or ``"exhausted"``.
+    history:
+        ``(calls, Pr(CS))`` after each evaluation round.
+    queries_sampled:
+        Distinct workload queries drawn (per configuration for
+        Independent Sampling, shared count for Delta Sampling).
+    final_strata:
+        The final stratification as tuples of template ids (Delta) —
+        used by the Table 2/3 allocation baselines.
+    """
+
+    best_index: int
+    prcs: float
+    optimizer_calls: int
+    estimates: np.ndarray
+    eliminated: List[int]
+    stratum_counts: Dict[int, int]
+    terminated_by: str
+    history: List[Tuple[int, float]] = field(default_factory=list)
+    queries_sampled: int = 0
+    final_strata: Tuple[Tuple[int, ...], ...] = ()
+
+
+class ConfigurationSelector:
+    """Algorithm 1: sample until ``Pr(CS) > alpha``.
+
+    Parameters
+    ----------
+    source:
+        Where costs come from (live optimizer or precomputed matrix).
+    template_ids:
+        Per-query template id (length ``source.n_queries``); templates
+        are the stratification atoms.
+    options:
+        Procedure tunables.
+    rng:
+        Random generator driving all sampling.
+    """
+
+    def __init__(
+        self,
+        source: CostSource,
+        template_ids: np.ndarray,
+        options: SelectorOptions = SelectorOptions(),
+        rng: Optional[np.random.Generator] = None,
+        template_overheads: Optional[np.ndarray] = None,
+    ) -> None:
+        self.source = source
+        self.options = options
+        self.template_overheads = (
+            np.asarray(template_overheads, dtype=np.float64)
+            if template_overheads is not None else None
+        )
+        self.rng = rng if rng is not None else np.random.default_rng()
+        template_ids = np.asarray(template_ids, dtype=np.int64)
+        if len(template_ids) != source.n_queries:
+            raise ValueError(
+                f"template_ids has {len(template_ids)} entries for "
+                f"{source.n_queries} queries"
+            )
+        self.template_ids = template_ids
+        order = np.argsort(template_ids, kind="stable")
+        sorted_ids = template_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        groups = np.split(order, boundaries)
+        self.indices_by_template: Dict[int, np.ndarray] = {
+            int(template_ids[g[0]]): g for g in groups
+        }
+        self.template_sizes: Dict[int, int] = {
+            t: len(g) for t, g in self.indices_by_template.items()
+        }
+        self.n_templates = (
+            int(template_ids.max()) + 1 if len(template_ids) else 0
+        )
+        self._template_size_arr = np.zeros(self.n_templates, dtype=np.int64)
+        for t, size in self.template_sizes.items():
+            self._template_size_arr[t] = size
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self) -> SelectionResult:
+        """Run Algorithm 1 to termination."""
+        if self.options.scheme == "delta":
+            return self._run_delta()
+        return self._run_independent()
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _initial_stratification(self) -> Stratification:
+        if self.options.stratify == "fine":
+            return Stratification(
+                [(t,) for t in sorted(self.template_sizes)],
+                self.template_sizes,
+            )
+        return Stratification.single(self.template_sizes)
+
+    def _stratum_overheads(self, strat: Stratification) -> Optional[
+            np.ndarray]:
+        """Expected per-draw optimization overhead of each stratum.
+
+        The size-weighted mean of the member templates' overheads
+        (Section 5.2's closing remark: select the stratum maximizing
+        variance reduction *relative to the expected overhead*).
+        """
+        if self.template_overheads is None:
+            return None
+        out = np.empty(strat.stratum_count)
+        for h, stratum in enumerate(strat.strata):
+            tids = np.fromiter(stratum, dtype=np.int64)
+            sizes = self._template_size_arr[tids].astype(np.float64)
+            total = sizes.sum()
+            if total <= 0:
+                out[h] = 1.0
+                continue
+            out[h] = float(
+                (sizes * self.template_overheads[tids]).sum() / total
+            )
+        return out
+
+    def _budget_left(self, calls: int) -> bool:
+        return (
+            self.options.max_calls is None
+            or calls < self.options.max_calls
+        )
+
+    # ------------------------------------------------------------------
+    # Delta Sampling driver
+    # ------------------------------------------------------------------
+    def _run_delta(self) -> SelectionResult:
+        opts = self.options
+        k = self.source.n_configs
+        state = DeltaState(
+            k, self.n_templates, self.indices_by_template, self.rng
+        )
+        strat = self._initial_stratification()
+        active = list(range(k))
+        eliminated: List[int] = []
+        start_calls = self.source.calls
+        self._start_calls = start_calls
+        history: List[Tuple[int, float]] = []
+        consec = 0
+        terminated_by = "exhausted"
+
+        def calls_used() -> int:
+            return self.source.calls - start_calls
+
+        # Pilot: n_min draws per stratum (shared across configurations).
+        self._delta_pilot(state, strat, active)
+
+        # Eliminated configurations stop sampling, so their aligned
+        # difference moments against any configuration are frozen; cache
+        # their pair estimates per (best, stratification) to keep large-k
+        # rounds cheap.
+        pair_cache: Dict[int, Tuple[float, float]] = {}
+        cache_key: Optional[Tuple[int, int]] = None
+        strat_version = 0
+
+        while True:
+            # --- evaluate ---
+            totals = np.array(
+                [state.estimate_total(c, strat)[0] for c in range(k)]
+            )
+            best = int(np.argmin(np.where(np.isfinite(totals), totals,
+                                          np.inf)))
+            round_key = (best, strat_version)
+            if round_key != cache_key:
+                pair_cache = {}
+                cache_key = round_key
+            active_set = set(active)
+            pair_stats: Dict[int, Tuple[float, float]] = {}
+            pairwise: List[float] = []
+            for j in range(k):
+                if j == best:
+                    continue
+                if j not in active_set and j in pair_cache:
+                    mean_diff, var_diff = pair_cache[j]
+                else:
+                    mean_diff, var_diff = state.pair_estimate(
+                        best, j, strat
+                    )
+                    if j not in active_set:
+                        pair_cache[j] = (mean_diff, var_diff)
+                pair_stats[j] = (mean_diff, var_diff)
+                pairwise.append(
+                    pairwise_prcs(-mean_diff, var_diff, opts.delta)
+                )
+            prcs = bonferroni(pairwise) if pairwise else 1.0
+            history.append((calls_used(), prcs))
+
+            # --- terminate? ---
+            if prcs > opts.alpha:
+                consec += 1
+            else:
+                consec = 0
+            if consec >= opts.consecutive:
+                terminated_by = "alpha"
+                break
+            if not self._budget_left(calls_used()):
+                terminated_by = "max_calls"
+                break
+
+            # --- eliminate ---
+            if opts.eliminate:
+                still = []
+                for j in active:
+                    if j == best:
+                        still.append(j)
+                        continue
+                    mean_diff, var_diff = pair_stats[j]
+                    p = pairwise_prcs(-mean_diff, var_diff, opts.delta)
+                    if p > opts.elimination_threshold:
+                        eliminated.append(j)
+                    else:
+                        still.append(j)
+                active = still
+                if best not in active:
+                    active.append(best)
+
+            # --- progressive stratification (Algorithm 2) ---
+            if opts.stratify == "progressive":
+                new_strat = self._delta_split(
+                    state, strat, best, pair_stats, len(active)
+                )
+                if new_strat is not strat:
+                    strat = new_strat
+                    strat_version += 1
+
+            # --- draw the next batch of samples ---
+            if not self._delta_draw(state, strat, best, pair_stats, active):
+                # Workload exhausted: estimates are now exact.
+                terminated_by = "exhausted"
+                totals = np.array(
+                    [state.estimate_total(c, strat)[0] for c in range(k)]
+                )
+                best = int(np.argmin(totals))
+                prcs = 1.0
+                break
+
+        totals = np.array(
+            [state.estimate_total(c, strat)[0] for c in range(k)]
+        )
+        best = int(np.argmin(totals))
+        return SelectionResult(
+            best_index=best,
+            prcs=prcs,
+            optimizer_calls=calls_used(),
+            estimates=totals,
+            eliminated=eliminated,
+            stratum_counts={h: int(n) for h, n in enumerate(strat.sizes)},
+            terminated_by=terminated_by,
+            history=history,
+            queries_sampled=state.sample_count(),
+            final_strata=strat.strata,
+        )
+
+    def _delta_pilot(
+        self,
+        state: DeltaState,
+        strat: Stratification,
+        active: Sequence[int],
+    ) -> None:
+        """Fill every stratum to ``n_min`` shared samples (or exhaust)."""
+        for stratum in strat.strata:
+            target = min(
+                self.options.n_min,
+                sum(self.template_sizes[t] for t in stratum),
+            )
+            drawn = sum(state.sampler.drawn(t) for t in stratum)
+            while drawn < target:
+                if not self._budget_left(
+                    self.source.calls - self._start_calls
+                ):
+                    return
+                if not state.sample_one(
+                    stratum, self.source, self.rng, active
+                ):
+                    break
+                drawn += 1
+
+    def _delta_split(
+        self,
+        state: DeltaState,
+        strat: Stratification,
+        best: int,
+        pair_stats: Dict[int, Tuple[float, float]],
+        k_active: int,
+    ) -> Stratification:
+        """Consult Algorithm 2 using the binding pair's difference stats."""
+        binding = self._binding_pair(pair_stats, k_active)
+        if binding is None:
+            return strat
+        j, target_var = binding
+        counts, means, m2s = state.diff_template_moments(best, j)
+        t_vars = np.where(counts >= 2, m2s / np.maximum(1, counts - 1), 0.0)
+        decision = propose_split(
+            strat,
+            self._template_size_arr,
+            counts,
+            means,
+            t_vars,
+            target_var,
+            self.options.n_min,
+        )
+        if decision is None:
+            return strat
+        new_strat = strat.split(
+            decision.stratum_idx, decision.left, decision.right
+        )
+        # Line 8 of Algorithm 1: pilot the refreshed strata.
+        self._delta_pilot(state, new_strat, self._active_or_all(pair_stats,
+                                                                best))
+        return new_strat
+
+    def _active_or_all(
+        self, pair_stats: Dict[int, Tuple[float, float]], best: int
+    ) -> List[int]:
+        return sorted(set(pair_stats) | {best})
+
+    def _binding_pair(
+        self,
+        pair_stats: Dict[int, Tuple[float, float]],
+        k_active: int,
+    ) -> Optional[Tuple[int, float]]:
+        """The pair needing the smallest (hardest) target variance."""
+        alpha_pair = per_pair_alpha(self.options.alpha, max(2, k_active))
+        best_j: Optional[int] = None
+        best_target = math.inf
+        for j, (mean_diff, _var) in pair_stats.items():
+            target = pair_target_variance(
+                -mean_diff, self.options.delta, alpha_pair
+            )
+            if 0 < target < best_target:
+                best_target = target
+                best_j = j
+        if best_j is None:
+            return None
+        return best_j, best_target
+
+    def _delta_draw(
+        self,
+        state: DeltaState,
+        strat: Stratification,
+        best: int,
+        pair_stats: Dict[int, Tuple[float, float]],
+        active: Sequence[int],
+    ) -> bool:
+        """Pick the stratum per §5.2 and draw one shared sample."""
+        sizes = strat.sizes
+        counts = np.zeros(strat.stratum_count, dtype=np.int64)
+        exhausted = np.zeros(strat.stratum_count, dtype=bool)
+        for h, stratum in enumerate(strat.strata):
+            counts[h] = sum(state.sampler.drawn(t) for t in stratum)
+            exhausted[h] = state.sampler.remaining_in(stratum) == 0
+        if exhausted.all():
+            return False
+        # Per-pair per-stratum variances for the variance-sum heuristic.
+        pair_vars = []
+        for j in pair_stats:
+            t_counts, t_means, t_m2s = state.diff_template_moments(best, j)
+            vars_h = np.zeros(strat.stratum_count)
+            for h, stratum in enumerate(strat.strata):
+                tids = np.fromiter(stratum, dtype=np.int64)
+                c = t_counts[tids]
+                n_h = int(c.sum())
+                if n_h >= 2:
+                    m_h = float((c * t_means[tids]).sum() / n_h)
+                    vars_h[h] = float(
+                        (t_m2s[tids] + c * (t_means[tids] - m_h) ** 2).sum()
+                    ) / (n_h - 1)
+            pair_vars.append(vars_h)
+        if pair_vars:
+            pick = pick_delta_stratum(
+                sizes, pair_vars, counts, exhausted,
+                overheads=self._stratum_overheads(strat),
+            )
+        else:
+            pick = int(np.argmax(np.where(exhausted, -1, sizes)))
+        if pick is None:
+            return False
+        # Draw up to reeval_every samples from the chosen stratum before
+        # re-evaluating (reeval_every=1 reproduces the paper exactly).
+        drew_any = False
+        for _ in range(max(1, self.options.reeval_every)):
+            if drew_any and not self._budget_left(
+                self.source.calls - self._start_calls
+            ):
+                break
+            if not state.sample_one(
+                strat.strata[pick], self.source, self.rng, list(active)
+            ):
+                break
+            drew_any = True
+        return drew_any
+
+    # ------------------------------------------------------------------
+    # Independent Sampling driver
+    # ------------------------------------------------------------------
+    def _run_independent(self) -> SelectionResult:
+        opts = self.options
+        k = self.source.n_configs
+        state = IndependentState(
+            k, self.n_templates, self.indices_by_template, self.rng
+        )
+        strats: List[Stratification] = [
+            self._initial_stratification() for _ in range(k)
+        ]
+        active = list(range(k))
+        eliminated: List[int] = []
+        start_calls = self.source.calls
+        self._start_calls = start_calls
+        history: List[Tuple[int, float]] = []
+        consec = 0
+        terminated_by = "exhausted"
+
+        def calls_used() -> int:
+            return self.source.calls - start_calls
+
+        for c in range(k):
+            self._independent_pilot(state, strats[c], c)
+
+        last_sampled: Optional[int] = None
+        while True:
+            ests = [state.estimate(c, strats[c]) for c in range(k)]
+            totals = np.array([e[0] for e in ests])
+            variances = np.array([e[1] for e in ests])
+            best = int(np.argmin(np.where(np.isfinite(totals), totals,
+                                          np.inf)))
+            pairwise = []
+            pair_stats: Dict[int, Tuple[float, float]] = {}
+            for j in range(k):
+                if j == best:
+                    continue
+                gap = float(totals[j] - totals[best])
+                var = float(variances[j] + variances[best])
+                pair_stats[j] = (-gap, var)
+                pairwise.append(pairwise_prcs(gap, var, opts.delta))
+            prcs = bonferroni(pairwise) if pairwise else 1.0
+            history.append((calls_used(), prcs))
+
+            if prcs > opts.alpha:
+                consec += 1
+            else:
+                consec = 0
+            if consec >= opts.consecutive:
+                terminated_by = "alpha"
+                break
+            if not self._budget_left(calls_used()):
+                terminated_by = "max_calls"
+                break
+
+            if opts.eliminate:
+                still = []
+                for j in active:
+                    if j == best:
+                        still.append(j)
+                        continue
+                    gap, var = -pair_stats[j][0], pair_stats[j][1]
+                    if pairwise_prcs(gap, var, opts.delta) > \
+                            opts.elimination_threshold:
+                        eliminated.append(j)
+                    else:
+                        still.append(j)
+                active = still
+                if best not in active:
+                    active.append(best)
+
+            # Progressive stratification for the last-sampled config.
+            if opts.stratify == "progressive" and last_sampled is not None \
+                    and last_sampled in active:
+                strats[last_sampled] = self._independent_split(
+                    state, strats[last_sampled], last_sampled,
+                    pair_stats, len(active),
+                )
+
+            pick = self._independent_pick(state, strats, active)
+            if pick is None:
+                terminated_by = "exhausted"
+                prcs = 1.0
+                break
+            config, stratum_idx = pick
+            drew_any = False
+            for _ in range(max(1, self.options.reeval_every)):
+                if drew_any and not self._budget_left(
+                    self.source.calls - self._start_calls
+                ):
+                    break
+                if not state.sample_one(
+                    config, strats[config].strata[stratum_idx],
+                    self.source, self.rng,
+                ):
+                    break
+                drew_any = True
+            if not drew_any:
+                # Raced into exhaustion; try again next round.
+                continue
+            last_sampled = config
+
+        ests = [state.estimate(c, strats[c]) for c in range(k)]
+        totals = np.array([e[0] for e in ests])
+        best = int(np.argmin(totals))
+        return SelectionResult(
+            best_index=best,
+            prcs=prcs,
+            optimizer_calls=calls_used(),
+            estimates=totals,
+            eliminated=eliminated,
+            stratum_counts={
+                c: strats[c].stratum_count for c in range(k)
+            },
+            terminated_by=terminated_by,
+            history=history,
+            queries_sampled=sum(
+                state.sample_count(c) for c in range(k)
+            ),
+            final_strata=strats[best].strata,
+        )
+
+    def _independent_pilot(
+        self, state: IndependentState, strat: Stratification, config: int
+    ) -> None:
+        for stratum in strat.strata:
+            target = min(
+                self.options.n_min,
+                sum(self.template_sizes[t] for t in stratum),
+            )
+            drawn = sum(
+                int(state.grid.count[config, t]) for t in stratum
+            )
+            while drawn < target:
+                if not self._budget_left(
+                    self.source.calls - self._start_calls
+                ):
+                    return
+                if not state.sample_one(
+                    config, stratum, self.source, self.rng
+                ):
+                    break
+                drawn += 1
+
+    def _independent_split(
+        self,
+        state: IndependentState,
+        strat: Stratification,
+        config: int,
+        pair_stats: Dict[int, Tuple[float, float]],
+        k_active: int,
+    ) -> Stratification:
+        binding = self._binding_pair(pair_stats, k_active)
+        if binding is None:
+            return strat
+        _j, pair_target = binding
+        # Per-config target: half the pair's variance budget (the pair
+        # variance is the sum of two per-config variances).
+        target_var = pair_target / 2.0
+        counts = state.grid.count[config]
+        means = state.grid.mean[config]
+        m2s = state.grid.m2[config]
+        t_vars = np.where(counts >= 2, m2s / np.maximum(1, counts - 1), 0.0)
+        decision = propose_split(
+            strat,
+            self._template_size_arr,
+            counts,
+            means,
+            t_vars,
+            target_var,
+            self.options.n_min,
+        )
+        if decision is None:
+            return strat
+        new_strat = strat.split(
+            decision.stratum_idx, decision.left, decision.right
+        )
+        self._independent_pilot(state, new_strat, config)
+        return new_strat
+
+    def _independent_pick(
+        self,
+        state: IndependentState,
+        strats: Sequence[Stratification],
+        active: Sequence[int],
+    ) -> Optional[Tuple[int, int]]:
+        """Greedy (configuration, stratum) choice per §5.2."""
+        best_pick: Optional[Tuple[int, int]] = None
+        best_score = -1.0
+        for config in active:
+            strat = strats[config]
+            stats = state.stratum_stats(config, strat)
+            overheads = self._stratum_overheads(strat)
+            for h, stratum in enumerate(strat.strata):
+                remaining = state.samplers[config].remaining_in(stratum)
+                if remaining == 0:
+                    continue
+                red = variance_reduction(
+                    float(strat.sizes[h]),
+                    float(stats.var[h]) if np.isfinite(stats.var[h])
+                    else 0.0,
+                    int(stats.n[h]),
+                )
+                if stats.n[h] == 0:
+                    red = math.inf
+                elif overheads is not None:
+                    red = red / max(1e-12, overheads[h])
+                if red > best_score:
+                    best_score = red
+                    best_pick = (config, h)
+        return best_pick

@@ -1,0 +1,149 @@
+"""Cost sources: where the comparison primitive gets ``Cost(q, C)`` from.
+
+The selection procedure is agnostic to whether costs come from live
+what-if optimizer calls or from a precomputed matrix:
+
+* :class:`OptimizerCostSource` adapts a workload + configurations +
+  :class:`~repro.optimizer.whatif.WhatIfOptimizer`; every evaluation is
+  a real (simulated) optimizer call, the expensive unit the paper
+  minimizes.
+* :class:`MatrixCostSource` serves costs from a precomputed ``N x k``
+  matrix.  The Monte Carlo experiments (Section 7) compute the matrix
+  once and then replay thousands of selection runs against it cheaply;
+  the number of *distinct* (query, configuration) lookups is still
+  counted, because that is what would have been optimizer calls.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["CostSource", "MatrixCostSource", "OptimizerCostSource"]
+
+
+class CostSource(abc.ABC):
+    """Abstract provider of per-(query, configuration) costs."""
+
+    @property
+    @abc.abstractmethod
+    def n_queries(self) -> int:
+        """Workload size N."""
+
+    @property
+    @abc.abstractmethod
+    def n_configs(self) -> int:
+        """Number of candidate configurations k."""
+
+    @abc.abstractmethod
+    def cost(self, query_idx: int, config_idx: int) -> float:
+        """Optimizer-estimated cost of query ``query_idx`` in
+        configuration ``config_idx``."""
+
+    @property
+    @abc.abstractmethod
+    def calls(self) -> int:
+        """Number of distinct optimizer invocations made so far."""
+
+
+class MatrixCostSource(CostSource):
+    """Costs served from a precomputed matrix (Monte Carlo support).
+
+    Parameters
+    ----------
+    matrix:
+        Array of shape ``(N, k)``: ``matrix[q, c] = Cost(q_q, C_c)``.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"expected an (N, k) matrix, got shape {matrix.shape}"
+            )
+        self._matrix = matrix
+        self._touched: Set[Tuple[int, int]] = set()
+
+    @property
+    def n_queries(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def n_configs(self) -> int:
+        return self._matrix.shape[1]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying ground-truth matrix (read-only use expected)."""
+        return self._matrix
+
+    def cost(self, query_idx: int, config_idx: int) -> float:
+        self._touched.add((query_idx, config_idx))
+        return float(self._matrix[query_idx, config_idx])
+
+    @property
+    def calls(self) -> int:
+        return len(self._touched)
+
+    def reset_calls(self) -> None:
+        """Forget which cells were touched (new simulated run)."""
+        self._touched.clear()
+
+    def true_totals(self) -> np.ndarray:
+        """``Cost(WL, C_c)`` for every configuration (ground truth)."""
+        return self._matrix.sum(axis=0)
+
+    def true_best(self) -> int:
+        """Index of the configuration with the lowest true total cost."""
+        return int(np.argmin(self.true_totals()))
+
+
+class OptimizerCostSource(CostSource):
+    """Costs from live what-if calls over a workload.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`repro.workload.workload.Workload`.
+    configurations:
+        The candidate configurations, index-aligned with
+        ``config_idx``.
+    optimizer:
+        A :class:`repro.optimizer.whatif.WhatIfOptimizer`.
+    """
+
+    def __init__(self, workload, configurations: Sequence,
+                 optimizer) -> None:
+        self._workload = workload
+        self._configs = list(configurations)
+        self._optimizer = optimizer
+        self._baseline_calls = optimizer.calls
+
+    @property
+    def n_queries(self) -> int:
+        return self._workload.size
+
+    @property
+    def n_configs(self) -> int:
+        return len(self._configs)
+
+    @property
+    def workload(self):
+        """The underlying workload."""
+        return self._workload
+
+    @property
+    def configurations(self) -> Sequence:
+        """The candidate configurations."""
+        return list(self._configs)
+
+    def cost(self, query_idx: int, config_idx: int) -> float:
+        return self._optimizer.cost(
+            self._workload[query_idx], self._configs[config_idx]
+        )
+
+    @property
+    def calls(self) -> int:
+        return self._optimizer.calls - self._baseline_calls

@@ -1,0 +1,272 @@
+"""Strata over a workload, Neyman allocation, and sample-size estimation.
+
+Section 5 of the paper stratifies the workload into disjoint strata
+that are always unions of *templates* (queries of a template cluster
+tightly in cost, so per-template means estimated from few samples
+characterize a stratum well).  This module provides:
+
+* :class:`Stratification` — an ordered partition of template ids;
+* :func:`neyman_allocation` — the optimal allocation of a sample budget
+  across strata proportional to ``|WL_h| * S_h``;
+* :func:`allocation_variance` — the stratified estimator variance of
+  equation (5);
+* :func:`samples_needed` — the paper's ``#Samples(C_i, ST, NT)``:
+  the minimum total sample size whose Neyman allocation reaches a
+  target variance, via binary search (``O(L log N)`` as in footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Stratification",
+    "neyman_allocation",
+    "allocation_variance",
+    "samples_needed",
+]
+
+
+class Stratification:
+    """An ordered partition of template ids into strata.
+
+    Parameters
+    ----------
+    strata:
+        One tuple of template ids per stratum.  Every template of the
+        workload must appear in exactly one stratum.
+    template_sizes:
+        Mapping ``template_id -> number of workload queries``.
+    """
+
+    def __init__(
+        self,
+        strata: Sequence[Tuple[int, ...]],
+        template_sizes: Dict[int, int],
+    ) -> None:
+        if not strata:
+            raise ValueError("a stratification needs at least one stratum")
+        seen: set = set()
+        for stratum in strata:
+            if not stratum:
+                raise ValueError("empty stratum in stratification")
+            for tid in stratum:
+                if tid in seen:
+                    raise ValueError(
+                        f"template {tid} appears in multiple strata"
+                    )
+                if tid not in template_sizes:
+                    raise ValueError(
+                        f"template {tid} missing from template_sizes"
+                    )
+                seen.add(tid)
+        missing = set(template_sizes) - seen
+        if missing:
+            raise ValueError(
+                f"templates {sorted(missing)[:5]} not covered by any stratum"
+            )
+        self.strata: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(s) for s in strata
+        )
+        self.template_sizes = dict(template_sizes)
+        self._stratum_of = {
+            tid: h for h, stratum in enumerate(self.strata) for tid in stratum
+        }
+        self.sizes = np.array(
+            [
+                sum(template_sizes[tid] for tid in stratum)
+                for stratum in self.strata
+            ],
+            dtype=np.int64,
+        )
+
+    @classmethod
+    def single(cls, template_sizes: Dict[int, int]) -> "Stratification":
+        """The trivial stratification: one stratum holding everything."""
+        return cls([tuple(sorted(template_sizes))], template_sizes)
+
+    @property
+    def stratum_count(self) -> int:
+        """Number of strata L."""
+        return len(self.strata)
+
+    @property
+    def total_size(self) -> int:
+        """Workload size N."""
+        return int(self.sizes.sum())
+
+    def stratum_of(self, template_id: int) -> int:
+        """Index of the stratum containing ``template_id``."""
+        try:
+            return self._stratum_of[template_id]
+        except KeyError:
+            raise KeyError(
+                f"template {template_id} not in this stratification"
+            ) from None
+
+    def split(
+        self,
+        stratum_idx: int,
+        left: Sequence[int],
+        right: Sequence[int],
+    ) -> "Stratification":
+        """A new stratification with one stratum split in two."""
+        old = set(self.strata[stratum_idx])
+        if set(left) | set(right) != old or set(left) & set(right):
+            raise ValueError(
+                "split halves must partition the stratum exactly"
+            )
+        if not left or not right:
+            raise ValueError("both split halves must be non-empty")
+        new_strata: List[Tuple[int, ...]] = list(self.strata)
+        new_strata[stratum_idx] = tuple(left)
+        new_strata.insert(stratum_idx + 1, tuple(right))
+        return Stratification(new_strata, self.template_sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Stratification(L={self.stratum_count}, "
+            f"sizes={self.sizes.tolist()})"
+        )
+
+
+def neyman_allocation(
+    sizes: np.ndarray,
+    std_devs: np.ndarray,
+    total: int,
+    floors: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Allocate ``total`` samples across strata by Neyman allocation.
+
+    The optimal allocation is ``n_h proportional to |WL_h| * S_h``,
+    subject to per-stratum floors (samples already taken plus the
+    minimum pilot size) and ceilings (stratum sizes).  Excess demand is
+    redistributed proportionally among unclamped strata.
+
+    Parameters
+    ----------
+    sizes:
+        Stratum sizes ``|WL_h|``.
+    std_devs:
+        Stratum standard deviations ``S_h`` (zeros allowed).
+    total:
+        Total sample budget; silently raised to ``sum(floors)`` and
+        capped at ``sum(sizes)``.
+    floors:
+        Minimum per-stratum allocation (defaults to zero).
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer allocation summing to ``min(max(total, sum(floors)),
+        sum(sizes))``.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    std_devs = np.asarray(std_devs, dtype=np.float64)
+    if floors is None:
+        floors = np.zeros_like(sizes)
+    floors = np.minimum(np.asarray(floors, dtype=np.int64), sizes)
+    total = int(min(max(total, floors.sum()), sizes.sum()))
+
+    alloc = floors.copy()
+    remaining = total - int(alloc.sum())
+    weights = sizes.astype(np.float64) * std_devs
+    if weights.sum() <= 0:
+        weights = sizes.astype(np.float64)
+
+    # Iteratively hand the remaining budget to unclamped strata.
+    while remaining > 0:
+        open_mask = alloc < sizes
+        if not open_mask.any():
+            break
+        w = np.where(open_mask, weights, 0.0)
+        if w.sum() <= 0:
+            w = np.where(open_mask, sizes.astype(np.float64), 0.0)
+        share = np.floor(remaining * w / w.sum()).astype(np.int64)
+        if share.sum() == 0:
+            # Hand out one at a time to the heaviest open strata.
+            order = np.argsort(-w)
+            for h in order:
+                if remaining <= 0:
+                    break
+                if alloc[h] < sizes[h]:
+                    alloc[h] += 1
+                    remaining -= 1
+            continue
+        new_alloc = np.minimum(alloc + share, sizes)
+        remaining -= int((new_alloc - alloc).sum())
+        alloc = new_alloc
+    return alloc
+
+
+def allocation_variance(
+    sizes: np.ndarray,
+    variances: np.ndarray,
+    alloc: np.ndarray,
+) -> float:
+    """Stratified estimator variance of equation (5).
+
+    ``Var(X) = sum_h |WL_h|^2 * S_h^2 / n_h * (1 - n_h / |WL_h|)``;
+    strata with no samples contribute worst-case variance via
+    ``n_h -> 0`` being disallowed — callers must allocate at least one
+    sample to every stratum with nonzero variance, otherwise ``inf`` is
+    returned.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    variances = np.asarray(variances, dtype=np.float64)
+    alloc = np.asarray(alloc, dtype=np.float64)
+    var = 0.0
+    for size, s2, n in zip(sizes, variances, alloc):
+        if s2 <= 0 or size <= 1:
+            continue
+        if n <= 0:
+            return float("inf")
+        fpc = max(0.0, 1.0 - n / size)
+        var += size * size * s2 / n * fpc
+    return float(var)
+
+
+def samples_needed(
+    sizes: np.ndarray,
+    variances: np.ndarray,
+    target_var: float,
+    floors: Optional[np.ndarray] = None,
+) -> int:
+    """Minimum total samples whose Neyman allocation meets ``target_var``.
+
+    This is the paper's ``#Samples(C_i, ST, NT)``: assuming the stratum
+    variances stay constant, binary-search the total sample size
+    (``O(L log N)`` per footnote 3 — one Neyman allocation plus one
+    variance evaluation per probe).  Returns ``sum(sizes)`` (full
+    evaluation) when even that is needed, which drives the variance to
+    zero via the finite population correction.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    variances = np.asarray(variances, dtype=np.float64)
+    if floors is None:
+        floors = np.zeros_like(sizes)
+    std_devs = np.sqrt(np.maximum(0.0, variances))
+    lo = int(np.minimum(np.maximum(floors, 1), sizes).sum())
+    hi = int(sizes.sum())
+
+    def var_at(total: int) -> float:
+        alloc = neyman_allocation(
+            sizes, std_devs, total,
+            floors=np.maximum(floors, np.minimum(1, sizes)),
+        )
+        return allocation_variance(sizes, variances, alloc)
+
+    if var_at(lo) <= target_var:
+        return lo
+    if var_at(hi) > target_var:
+        return hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if var_at(mid) <= target_var:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

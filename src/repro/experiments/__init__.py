@@ -1,0 +1,52 @@
+"""Experiment harness: setups, Monte Carlo evaluation, reporting."""
+
+from .cache import cached_matrix, matrix_cache_dir
+from .configs import ExperimentSetup, crm_setup, find_pair, tpcd_setup
+from .paper import (
+    SECTION6_FRACTIONS,
+    TABLE1_SECONDS,
+    TABLE2_TPCD,
+    TABLE3_CRM,
+    MultiConfigPaperRow,
+)
+from .monte_carlo import (
+    MultiConfigRow,
+    SchemeSpec,
+    multi_config_table,
+    prcs_curve,
+    select_fixed_budget,
+)
+from .calibration import (
+    CalibrationBucket,
+    CalibrationReport,
+    measure_calibration,
+)
+from .figures import ascii_chart, write_series_csv
+from .report import format_kv, format_series, format_table
+
+__all__ = [
+    "SECTION6_FRACTIONS",
+    "TABLE1_SECONDS",
+    "TABLE2_TPCD",
+    "TABLE3_CRM",
+    "MultiConfigPaperRow",
+    "cached_matrix",
+    "matrix_cache_dir",
+    "ExperimentSetup",
+    "crm_setup",
+    "find_pair",
+    "tpcd_setup",
+    "MultiConfigRow",
+    "SchemeSpec",
+    "multi_config_table",
+    "prcs_curve",
+    "select_fixed_budget",
+    "CalibrationBucket",
+    "CalibrationReport",
+    "measure_calibration",
+    "ascii_chart",
+    "write_series_csv",
+    "format_kv",
+    "format_series",
+    "format_table",
+]

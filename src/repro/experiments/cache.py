@@ -1,0 +1,53 @@
+"""Disk cache for ground-truth cost matrices.
+
+Monte Carlo experiments replay thousands of selection runs against one
+ground-truth ``N x k`` cost matrix.  Computing the matrix is the
+expensive exhaustive evaluation the paper's primitive avoids; caching
+it under ``.cache/`` makes repeated bench/test runs cheap while keeping
+every number reproducible (cache keys encode all generation
+parameters).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["matrix_cache_dir", "cached_matrix"]
+
+
+def matrix_cache_dir() -> Path:
+    """The cache directory (created on demand).
+
+    Override with the ``REPRO_CACHE_DIR`` environment variable; set
+    ``REPRO_NO_CACHE=1`` to disable caching entirely.
+    """
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        root = Path(__file__).resolve().parents[3] / ".cache"
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cached_matrix(
+    key: str, builder: Callable[[], np.ndarray]
+) -> np.ndarray:
+    """Fetch a matrix by cache key, building and storing it on miss."""
+    if os.environ.get("REPRO_NO_CACHE"):
+        return builder()
+    digest = hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+    path = matrix_cache_dir() / f"matrix_{digest}.npz"
+    if path.exists():
+        try:
+            with np.load(path) as data:
+                return data["matrix"]
+        except Exception:
+            path.unlink(missing_ok=True)
+    matrix = builder()
+    np.savez_compressed(path, matrix=matrix, key=np.array(key))
+    return matrix

@@ -1,0 +1,144 @@
+"""Calibration measurement: is the claimed Pr(CS) honest?
+
+The paper's guarantees are only as good as the Pr(CS) estimate: with
+sample variances standing in for true variances, "Pr(CS) may be either
+over- or under-estimated" (§4.1), and §6 exists precisely to police
+the over-estimation risk on skewed populations.
+
+This module measures calibration empirically: run the fixed-sample
+comparison many times, bucket the trials by *claimed* probability, and
+compare each bucket's claim with its empirical frequency of correct
+selection — a reliability diagram in table form.  A method is
+conservative when every bucket's empirical frequency is at or above
+its claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.estimators import DeltaState
+from ..core.prcs import pairwise_prcs
+from ..core.sources import MatrixCostSource
+from ..core.stratification import Stratification
+
+__all__ = ["CalibrationBucket", "CalibrationReport", "measure_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationBucket:
+    """One claimed-probability bucket of a reliability diagram."""
+
+    claim_low: float
+    claim_high: float
+    trials: int
+    mean_claim: float
+    empirical: float
+
+    @property
+    def gap(self) -> float:
+        """``empirical - mean_claim``; negative = over-confident."""
+        return self.empirical - self.mean_claim
+
+
+@dataclass
+class CalibrationReport:
+    """Reliability summary over many fixed-sample comparisons."""
+
+    buckets: List[CalibrationBucket]
+    overall_claim: float
+    overall_empirical: float
+
+    @property
+    def overconfident(self) -> bool:
+        """Whether any populated bucket is materially over-confident."""
+        return any(
+            b.gap < -0.1 for b in self.buckets if b.trials >= 20
+        )
+
+
+def measure_calibration(
+    matrix: np.ndarray,
+    template_ids: np.ndarray,
+    sample_size: int,
+    trials: int = 400,
+    seed: int = 0,
+    delta: float = 0.0,
+    variance_override: Optional[float] = None,
+    bucket_edges: Sequence[float] = (0.5, 0.7, 0.8, 0.9, 0.95, 1.0001),
+) -> CalibrationReport:
+    """Measure Pr(CS) calibration for a two-configuration problem.
+
+    Each trial draws ``sample_size`` shared queries (Delta Sampling),
+    selects the configuration with the lower estimate and records the
+    claimed ``Pr(CS)``; ground truth decides whether the selection was
+    correct.
+
+    Parameters
+    ----------
+    matrix:
+        ``(N, 2)`` ground-truth cost matrix.
+    variance_override:
+        When given, used in place of the sample variance of the
+        difference estimator — pass a certified ``sigma^2_max``-derived
+        estimator variance to measure the *conservative* variant
+        (Section 6.2).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != 2:
+        raise ValueError("calibration needs an (N, 2) cost matrix")
+    n = matrix.shape[0]
+    if not (2 <= sample_size <= n):
+        raise ValueError(f"sample_size must be in [2, {n}]")
+    template_ids = np.asarray(template_ids, dtype=np.int64)
+    groups: Dict[int, list] = {}
+    for i, t in enumerate(template_ids):
+        groups.setdefault(int(t), []).append(i)
+    groups_arr = {t: np.asarray(v) for t, v in groups.items()}
+    sizes = {t: len(v) for t, v in groups_arr.items()}
+    strat = Stratification.single(sizes)
+    n_templates = int(template_ids.max()) + 1
+
+    totals = matrix.sum(axis=0)
+    truth_best = int(np.argmin(totals))
+
+    claims = np.empty(trials)
+    corrects = np.empty(trials, dtype=bool)
+    for trial in range(trials):
+        rng = np.random.default_rng((seed * 7_919 + trial) & 0x7FFFFFFF)
+        state = DeltaState(2, n_templates, groups_arr, rng)
+        source = MatrixCostSource(matrix)
+        all_templates = tuple(sorted(sizes))
+        for _ in range(sample_size):
+            state.sample_one(all_templates, source, rng, [0, 1])
+        mean_diff, var_diff = state.pair_estimate(0, 1, strat)
+        chosen = 0 if mean_diff < 0 else 1
+        variance = (
+            variance_override if variance_override is not None
+            else var_diff
+        )
+        claims[trial] = pairwise_prcs(abs(mean_diff), variance, delta)
+        regret = totals[chosen] - totals[truth_best]
+        corrects[trial] = regret <= delta + 1e-9 * abs(totals[truth_best])
+
+    buckets: List[CalibrationBucket] = []
+    lo = 0.0
+    for hi in bucket_edges:
+        mask = (claims >= lo) & (claims < hi)
+        count = int(mask.sum())
+        buckets.append(CalibrationBucket(
+            claim_low=lo,
+            claim_high=min(1.0, hi),
+            trials=count,
+            mean_claim=float(claims[mask].mean()) if count else 0.0,
+            empirical=float(corrects[mask].mean()) if count else 0.0,
+        ))
+        lo = hi
+    return CalibrationReport(
+        buckets=buckets,
+        overall_claim=float(claims.mean()),
+        overall_empirical=float(corrects.mean()),
+    )

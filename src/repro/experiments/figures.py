@@ -1,0 +1,114 @@
+"""Figure-data export and terminal rendering.
+
+The benchmarks print the paper's figures as aligned data tables
+(:mod:`repro.experiments.report`).  This module adds two consumers:
+
+* :func:`write_series_csv` — persist a figure's series as CSV so the
+  curves can be plotted with any external tool;
+* :func:`ascii_chart` — render the curves directly in the terminal, so
+  a reproduction run shows recognisable Figure 1-4 shapes without any
+  plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+__all__ = ["write_series_csv", "ascii_chart"]
+
+
+def write_series_csv(
+    path: Union[str, Path],
+    x_label: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+) -> Path:
+    """Write figure series to a CSV file (one row per x value).
+
+    Returns the written path.  Columns: ``x_label`` then one column per
+    series, in insertion order.
+    """
+    path = Path(path)
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(xs)} x values"
+            )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label] + list(series))
+        for i, x in enumerate(xs):
+            writer.writerow([x] + [series[name][i] for name in series])
+    return path
+
+
+#: Plot glyphs assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+    title: str = "",
+) -> str:
+    """Render line series as a monospace chart.
+
+    The x axis spans ``xs`` (linearly); the y axis spans
+    ``[y_min, y_max]`` — the natural range for probability curves.
+    Overlapping points show the marker of the later series.
+    """
+    if not xs:
+        raise ValueError("need at least one x value")
+    if y_max <= y_min:
+        raise ValueError(f"empty y range [{y_min}, {y_max}]")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(xs)} x values"
+            )
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    x_lo, x_hi = float(min(xs)), float(max(xs))
+    x_span = (x_hi - x_lo) or 1.0
+
+    def col(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+
+    def row(y: float) -> int:
+        clamped = min(y_max, max(y_min, y))
+        frac = (clamped - y_min) / (y_max - y_min)
+        return min(height - 1, int(round((1.0 - frac) * (height - 1))))
+
+    legend: List[str] = []
+    for s_idx, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, values):
+            grid[row(float(y))][col(float(x))] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, chars in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:>5.2f} |"
+        elif r == height - 1:
+            label = f"{y_min:>5.2f} |"
+        else:
+            label = "      |"
+        lines.append(label + "".join(chars))
+    lines.append("      +" + "-" * width)
+    lines.append(f"       {x_lo:<12g}{'':^{max(0, width - 24)}}{x_hi:>12g}")
+    lines.extend("  " + entry for entry in legend)
+    return "\n".join(lines)

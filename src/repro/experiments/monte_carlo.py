@@ -1,0 +1,361 @@
+"""Monte Carlo evaluation of the selection procedures (Section 7).
+
+The paper measures the *true* probability of correct selection by
+repeating each sampling procedure thousands of times against known
+ground truth.  This module provides:
+
+* :func:`select_fixed_budget` — run one scheme to a fixed budget of
+  optimizer calls and return its selection (Figures 1-4);
+* :func:`prcs_curve` — the Monte Carlo "true Pr(CS) vs budget" curve;
+* :func:`multi_config_table` — the Table 2/3 protocol: run the
+  adaptive primitive to its own termination, then give the same number
+  of sampled queries to the two alternative allocation baselines
+  ("No Strat." and "Equal Alloc.") and compare true Pr(CS) and the
+  worst-case cost regret ("Max Delta").
+
+Unstratified schemes are vectorized; progressive stratification runs
+through the full :class:`~repro.core.selector.ConfigurationSelector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.selector import ConfigurationSelector, SelectionResult, \
+    SelectorOptions
+from ..core.sources import MatrixCostSource
+
+__all__ = [
+    "SchemeSpec",
+    "select_fixed_budget",
+    "prcs_curve",
+    "MultiConfigRow",
+    "multi_config_table",
+]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A (sampling scheme, stratification mode) combination."""
+
+    scheme: str  # "delta" | "independent"
+    stratify: str  # "none" | "progressive" | "fine"
+
+    @property
+    def label(self) -> str:
+        """Display label used in reports."""
+        names = {
+            ("delta", "none"): "Delta Sampling",
+            ("delta", "progressive"): "Delta + Progressive Strat.",
+            ("delta", "fine"): "Delta + Fine Strat.",
+            ("independent", "none"): "Independent Sampling",
+            ("independent", "progressive"): "Independent + Progressive "
+                                            "Strat.",
+            ("independent", "fine"): "Independent + Fine Strat.",
+        }
+        return names.get((self.scheme, self.stratify),
+                         f"{self.scheme}/{self.stratify}")
+
+
+def _template_groups(template_ids: np.ndarray) -> Dict[int, np.ndarray]:
+    order = np.argsort(template_ids, kind="stable")
+    sorted_ids = template_ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    groups = np.split(order, boundaries)
+    return {int(template_ids[g[0]]): g for g in groups}
+
+
+def _fine_allocation(
+    sizes: np.ndarray, m: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Allocate ``m`` draws across strata proportionally to size.
+
+    When ``m`` is smaller than the stratum count, a size-weighted
+    subset of strata receives one draw each — the small-sample regime
+    in which up-front fine stratification breaks down (Figure 2).
+    """
+    L = len(sizes)
+    if m >= L:
+        alloc = np.maximum(
+            1, np.floor(m * sizes / sizes.sum()).astype(int)
+        )
+        alloc = np.minimum(alloc, sizes)
+        # Largest-remainder style fixup toward exactly m draws.
+        while alloc.sum() > m:
+            h = int(np.argmax(alloc))
+            alloc[h] -= 1
+        while alloc.sum() < m:
+            room = np.flatnonzero(alloc < sizes)
+            if len(room) == 0:
+                break
+            h = room[int(np.argmax(sizes[room] / (alloc[room] + 1)))]
+            alloc[h] += 1
+        return alloc
+    alloc = np.zeros(L, dtype=int)
+    chosen = rng.choice(
+        L, size=m, replace=False, p=sizes / sizes.sum()
+    )
+    alloc[chosen] = 1
+    return alloc
+
+
+def _stratified_estimate_fixed(
+    matrix: np.ndarray,
+    groups: Sequence[np.ndarray],
+    alloc: np.ndarray,
+    rng: np.random.Generator,
+    shared: bool,
+) -> np.ndarray:
+    """Stratified total estimates for all configurations.
+
+    ``shared=True`` evaluates one shared sample per stratum in every
+    configuration (Delta-style draw); ``shared=False`` draws
+    independently per configuration.
+    """
+    k = matrix.shape[1]
+    sizes = np.array([len(g) for g in groups], dtype=np.float64)
+    est = np.zeros(k)
+    observed_mass = 0.0
+    fallback_num = np.zeros(k)
+    for g, n_h, size in zip(groups, alloc, sizes):
+        if n_h <= 0:
+            continue
+        if shared:
+            rows = rng.choice(g, size=int(n_h), replace=False)
+            means = matrix[rows].mean(axis=0)
+        else:
+            means = np.empty(k)
+            for c in range(k):
+                rows = rng.choice(g, size=int(n_h), replace=False)
+                means[c] = matrix[rows, c].mean()
+        est += size * means
+        observed_mass += size
+        fallback_num += size * means
+    unobserved = sizes.sum() - observed_mass
+    if unobserved > 0 and observed_mass > 0:
+        est += unobserved * fallback_num / observed_mass
+    return est
+
+
+def select_fixed_budget(
+    matrix: np.ndarray,
+    template_ids: np.ndarray,
+    spec: SchemeSpec,
+    budget: int,
+    rng: np.random.Generator,
+    n_min: int = 30,
+    reeval_every: int = 4,
+) -> int:
+    """Run one scheme for ``budget`` optimizer calls; return its choice.
+
+    Budgets count optimizer calls: a Delta draw costs ``k`` calls (one
+    per configuration), an Independent draw costs one.
+    ``reeval_every`` batches draws between evaluations on the
+    progressive path (pure Monte Carlo speed knob).
+    """
+    N, k = matrix.shape
+    if spec.stratify == "progressive":
+        source = MatrixCostSource(matrix)
+        options = SelectorOptions(
+            alpha=0.99,
+            scheme=spec.scheme,
+            stratify="progressive",
+            n_min=n_min,
+            consecutive=10**9,
+            eliminate=False,
+            max_calls=budget,
+            reeval_every=reeval_every,
+        )
+        result = ConfigurationSelector(
+            source, template_ids, options, rng=rng
+        ).run()
+        return result.best_index
+
+    groups_map = _template_groups(np.asarray(template_ids, dtype=np.int64))
+    groups = [groups_map[t] for t in sorted(groups_map)]
+    sizes = np.array([len(g) for g in groups])
+
+    if spec.scheme == "delta":
+        m = max(2, budget // k)
+        m = min(m, N)
+        if spec.stratify == "none":
+            rows = rng.choice(N, size=m, replace=False)
+            return int(np.argmin(matrix[rows].sum(axis=0)))
+        alloc = _fine_allocation(sizes, m, rng)
+        est = _stratified_estimate_fixed(matrix, groups, alloc, rng,
+                                         shared=True)
+        return int(np.argmin(est))
+
+    # Independent Sampling: budget split evenly across configurations.
+    n_per = max(2, budget // k)
+    n_per = min(n_per, N)
+    if spec.stratify == "none":
+        est = np.empty(k)
+        for c in range(k):
+            rows = rng.choice(N, size=n_per, replace=False)
+            est[c] = matrix[rows, c].mean() * N
+        return int(np.argmin(est))
+    alloc = _fine_allocation(sizes, n_per, rng)
+    est = _stratified_estimate_fixed(matrix, groups, alloc, rng,
+                                     shared=False)
+    return int(np.argmin(est))
+
+
+def _is_correct(totals: np.ndarray, chosen: int, delta: float) -> bool:
+    """Whether the selection is correct in the paper's sense.
+
+    A selection is correct when no alternative is more than ``delta``
+    cheaper; floating-point equality at the minimum counts as correct.
+    """
+    regret = float(totals[chosen] - totals.min())
+    return regret <= delta + 1e-9 * max(1.0, float(abs(totals.min())))
+
+
+def prcs_curve(
+    matrix: np.ndarray,
+    template_ids: np.ndarray,
+    spec: SchemeSpec,
+    budgets: Sequence[int],
+    trials: int,
+    seed: int = 0,
+    delta: float = 0.0,
+    n_min: int = 30,
+    reeval_every: int = 4,
+) -> np.ndarray:
+    """Monte Carlo "true Pr(CS)" for each budget (Figures 1-4).
+
+    Returns the fraction of ``trials`` in which the scheme selected a
+    configuration within ``delta`` of the true optimum.
+    """
+    totals = matrix.sum(axis=0)
+    fractions = np.zeros(len(budgets))
+    for b_idx, budget in enumerate(budgets):
+        correct = 0
+        for trial in range(trials):
+            rng = np.random.default_rng(
+                (seed * 1_000_003 + b_idx * 7_919 + trial) & 0x7FFFFFFF
+            )
+            chosen = select_fixed_budget(
+                matrix, template_ids, spec, budget, rng, n_min=n_min,
+                reeval_every=reeval_every,
+            )
+            if _is_correct(totals, chosen, delta):
+                correct += 1
+        fractions[b_idx] = correct / trials
+    return fractions
+
+
+@dataclass
+class MultiConfigRow:
+    """One method's row of Table 2/3."""
+
+    method: str
+    true_prcs: float
+    max_delta_pct: float
+    mean_calls: float
+    mean_queries: float
+
+
+def multi_config_table(
+    matrix: np.ndarray,
+    template_ids: np.ndarray,
+    alpha: float = 0.9,
+    delta: float = 0.0,
+    trials: int = 100,
+    seed: int = 0,
+    n_min: int = 30,
+    consecutive: int = 10,
+    reeval_every: int = 4,
+) -> List[MultiConfigRow]:
+    """The Table 2/3 protocol for one configuration set.
+
+    Runs the adaptive primitive (Delta Sampling + progressive
+    stratification, elimination on) to termination; then replays the
+    two alternative allocation baselines with the *same number of
+    sampled queries*:
+
+    * "No Strat." — a plain uniform shared sample;
+    * "Equal Alloc." — the same total split equally across the final
+      strata the primitive built.
+    """
+    totals = matrix.sum(axis=0)
+    N, k = matrix.shape
+    template_ids = np.asarray(template_ids, dtype=np.int64)
+    groups_map = _template_groups(template_ids)
+
+    stats = {
+        "delta": {"correct": 0, "worst": 0.0, "calls": 0.0, "queries": 0.0},
+        "nostrat": {"correct": 0, "worst": 0.0, "calls": 0.0,
+                    "queries": 0.0},
+        "equal": {"correct": 0, "worst": 0.0, "calls": 0.0, "queries": 0.0},
+    }
+
+    def record(name: str, chosen: int, calls: float, queries: float) -> None:
+        entry = stats[name]
+        if _is_correct(totals, chosen, delta):
+            entry["correct"] += 1
+        regret = (totals[chosen] - totals.min()) / totals.min() * 100.0
+        entry["worst"] = max(entry["worst"], float(regret))
+        entry["calls"] += calls
+        entry["queries"] += queries
+
+    for trial in range(trials):
+        rng = np.random.default_rng((seed * 99_991 + trial) & 0x7FFFFFFF)
+        source = MatrixCostSource(matrix)
+        options = SelectorOptions(
+            alpha=alpha,
+            delta=delta,
+            scheme="delta",
+            stratify="progressive",
+            n_min=n_min,
+            consecutive=consecutive,
+            eliminate=True,
+            reeval_every=reeval_every,
+        )
+        result = ConfigurationSelector(
+            source, template_ids, options, rng=rng
+        ).run()
+        m = max(2, result.queries_sampled)
+        record("delta", result.best_index, result.optimizer_calls, m)
+
+        # (a) no stratification: plain uniform shared sample of size m.
+        rows = rng.choice(N, size=min(m, N), replace=False)
+        record("nostrat", int(np.argmin(matrix[rows].sum(axis=0))),
+               m * k, m)
+
+        # (b) equal allocation across the primitive's final strata.
+        strata_groups = [
+            np.concatenate([groups_map[t] for t in stratum])
+            for stratum in result.final_strata
+        ]
+        L = len(strata_groups)
+        per = max(1, m // max(1, L))
+        alloc = np.array(
+            [min(per, len(g)) for g in strata_groups], dtype=int
+        )
+        est = _stratified_estimate_fixed(
+            matrix, strata_groups, alloc, rng, shared=True
+        )
+        record("equal", int(np.argmin(est)), int(alloc.sum()) * k,
+               float(alloc.sum()))
+
+    rows_out = []
+    for name, label in (
+        ("delta", "Delta-Sampling"),
+        ("nostrat", "No Strat."),
+        ("equal", "Equal Alloc."),
+    ):
+        entry = stats[name]
+        rows_out.append(
+            MultiConfigRow(
+                method=label,
+                true_prcs=entry["correct"] / trials,
+                max_delta_pct=entry["worst"],
+                mean_calls=entry["calls"] / trials,
+                mean_queries=entry["queries"] / trials,
+            )
+        )
+    return rows_out

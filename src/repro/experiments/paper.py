@@ -1,0 +1,77 @@
+"""The paper's published numbers, as structured data.
+
+Benchmarks and documentation compare measured results against the
+values the paper reports; keeping them here (instead of scattering
+literals through benches) makes the comparison auditable and gives
+downstream users a machine-readable record of the reproduction target.
+
+All values transcribed from König & Nabar, ICDE 2006, Section 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "TABLE1_SECONDS",
+    "TABLE2_TPCD",
+    "TABLE3_CRM",
+    "SECTION6_FRACTIONS",
+    "MultiConfigPaperRow",
+]
+
+#: Table 1 — seconds to approximate sigma^2_max at N = 100K
+#: (Pentium 4, 2.8 GHz).
+TABLE1_SECONDS: Dict[float, float] = {10.0: 0.4, 1.0: 5.2, 0.1: 53.0}
+
+
+@dataclass(frozen=True)
+class MultiConfigPaperRow:
+    """One method's published Table 2/3 row."""
+
+    method: str
+    true_prcs: Dict[int, float]      # k -> probability
+    max_delta_pct: Dict[int, float]  # k -> worst-case regret, percent
+
+
+#: Table 2 — TPC-D workload, alpha = 90%, delta = 0.
+TABLE2_TPCD: Tuple[MultiConfigPaperRow, ...] = (
+    MultiConfigPaperRow(
+        "Delta-Sampling",
+        true_prcs={50: 0.917, 100: 0.882, 500: 0.883},
+        max_delta_pct={50: 0.5, 100: 1.5, 500: 1.6},
+    ),
+    MultiConfigPaperRow(
+        "No Strat.",
+        true_prcs={50: 0.391, 100: 0.282, 500: 0.120},
+        max_delta_pct={50: 8.8, 100: 9.9, 500: 9.8},
+    ),
+    MultiConfigPaperRow(
+        "Equal Alloc.",
+        true_prcs={50: 0.425, 100: 0.286, 500: 0.128},
+        max_delta_pct={50: 7.7, 100: 9.0, 500: 8.6},
+    ),
+)
+
+#: Table 3 — CRM workload, same protocol.
+TABLE3_CRM: Tuple[MultiConfigPaperRow, ...] = (
+    MultiConfigPaperRow(
+        "Delta-Sampling",
+        true_prcs={50: 0.975, 100: 0.944, 500: 0.897},
+        max_delta_pct={50: 1.7, 100: 1.4, 500: 0.8},
+    ),
+    MultiConfigPaperRow(
+        "No Strat.",
+        true_prcs={50: 0.560, 100: 0.375, 500: 0.110},
+        max_delta_pct={50: 10.53, 100: 12.69, 500: 6.5},
+    ),
+    MultiConfigPaperRow(
+        "Equal Alloc.",
+        true_prcs={50: 0.711, 100: 0.528, 500: 0.170},
+        max_delta_pct={50: 7.2, 100: 5.8, 500: 3.26},
+    ),
+)
+
+#: Section 6 — workload fraction satisfying the modified Cochran rule.
+SECTION6_FRACTIONS: Dict[int, float] = {13_000: 0.04, 131_000: 0.006}

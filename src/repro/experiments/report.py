@@ -1,0 +1,68 @@
+"""Plain-text tables and series, in the paper's reporting style.
+
+The benchmarks print, for every reproduced table and figure, the same
+rows/series the paper reports; this module holds the formatting so the
+outputs look uniform across benches and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render "figure" data as one aligned series-per-column table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            value = series[name][i]
+            row.append(
+                f"{value:.3f}" if isinstance(value, float) else value
+            )
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_kv(pairs: Dict[str, object], title: Optional[str] = None) -> str:
+    """Render key/value pairs one per line."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max(len(k) for k in pairs) if pairs else 0
+    for key, value in pairs.items():
+        lines.append(f"  {key.ljust(width)} : {value}")
+    return "\n".join(lines)

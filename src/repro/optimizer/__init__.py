@@ -1,0 +1,48 @@
+"""Simulated what-if query optimizer.
+
+Provides ``Cost(q, C)`` — the optimizer-estimated cost of executing a
+query in a hypothetical physical configuration — via
+:class:`~repro.optimizer.whatif.WhatIfOptimizer`, together with the
+selectivity, access-path, join, view and DML costing layers beneath it.
+"""
+
+from .access_paths import AccessPath, best_access_path, needed_columns, \
+    suggest_index
+from .explain import explain_plan
+from .joins import JoinPlan, JoinStep, plan_joins
+from .params import DEFAULT_PARAMS, CostParams
+from .selectivity import (
+    conjunction_selectivity,
+    filtered_cardinality,
+    join_selectivity,
+    predicate_selectivity,
+    table_selectivity,
+)
+from .update_cost import affected_rows, select_part
+from .views import matching_views, view_cardinality, view_scan_cost
+from .whatif import QueryPlan, WhatIfOptimizer
+
+__all__ = [
+    "explain_plan",
+    "AccessPath",
+    "best_access_path",
+    "needed_columns",
+    "suggest_index",
+    "JoinPlan",
+    "JoinStep",
+    "plan_joins",
+    "DEFAULT_PARAMS",
+    "CostParams",
+    "conjunction_selectivity",
+    "filtered_cardinality",
+    "join_selectivity",
+    "predicate_selectivity",
+    "table_selectivity",
+    "affected_rows",
+    "select_part",
+    "matching_views",
+    "view_cardinality",
+    "view_scan_cost",
+    "QueryPlan",
+    "WhatIfOptimizer",
+]

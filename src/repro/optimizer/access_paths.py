@@ -1,0 +1,209 @@
+"""Single-table access-path selection.
+
+For each table referenced by a query, the optimizer chooses the
+cheapest among:
+
+* **heap scan** — read every page of the table;
+* **index seek** — descend an index whose key prefix matches filter
+  predicates, read the qualifying fraction of leaf pages and, unless
+  the index covers all needed columns, perform one random heap lookup
+  per qualifying row;
+* **covering index scan** — sequentially read a (narrower) covering
+  index instead of the heap, with no seek predicate.
+
+The module also implements the optimizer *instrumentation* of
+Bruno/Chaudhuri [2] that the paper's Section 6.1 relies on: for every
+table access considered, :func:`suggest_index` emits the index that
+would be optimal for that access.  The union of suggestions over a
+query defines its "ideal" configuration, whose cost lower-bounds the
+query's cost in any enumerated configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..catalog.schema import Schema
+from ..catalog.stats import StatisticsCatalog
+from ..physical.configuration import Configuration
+from ..physical.structures import Index
+from ..queries.ast import EqPredicate, Predicate, Query
+from .params import CostParams
+from .selectivity import (
+    predicate_selectivity,
+    table_selectivity,
+)
+
+__all__ = ["AccessPath", "needed_columns", "best_access_path", "suggest_index"]
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """The chosen way of reading one table's qualifying rows.
+
+    Attributes
+    ----------
+    kind:
+        ``"heap_scan"``, ``"index_seek"`` or ``"covering_scan"``.
+    table:
+        The accessed table.
+    index:
+        The index used, or ``None`` for a heap scan.
+    cost:
+        Optimizer cost units to produce the qualifying rows.
+    output_rows:
+        Estimated number of rows surviving *all* filters on the table.
+    """
+
+    kind: str
+    table: str
+    index: Optional[Index]
+    cost: float
+    output_rows: float
+
+
+def needed_columns(query: Query, table: str) -> FrozenSet[str]:
+    """Columns of ``table`` the query touches (for covering checks)."""
+    return frozenset(
+        ref.column for ref in query.referenced_columns() if ref.table == table
+    )
+
+
+def _key_prefix_selectivity(
+    index: Index, filters: List[Predicate], stats: StatisticsCatalog
+) -> Tuple[float, int]:
+    """Selectivity of the maximal usable key prefix of ``index``.
+
+    Walks the key columns in order; an equality filter lets the prefix
+    continue, a range/IN filter is usable but terminates the prefix
+    (classic B+-tree seek semantics).  Returns ``(selectivity,
+    used_columns)``; ``used_columns == 0`` means the index cannot seek.
+    """
+    by_column = {f.column.column: f for f in filters}
+    sel = 1.0
+    used = 0
+    for key in index.key_columns:
+        pred = by_column.get(key)
+        if pred is None:
+            break
+        sel *= predicate_selectivity(pred, stats)
+        used += 1
+        if not isinstance(pred, EqPredicate):
+            break
+    return sel, used
+
+
+def _heap_scan(
+    query: Query,
+    table: str,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+    output_rows: float,
+) -> AccessPath:
+    tbl = schema.table(table)
+    pages = tbl.pages(params.page_bytes)
+    cost = pages * params.seq_page_cost + tbl.row_count * params.cpu_row_cost
+    return AccessPath("heap_scan", table, None, cost, output_rows)
+
+
+def _index_paths(
+    query: Query,
+    table: str,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+    config: Configuration,
+    needed: FrozenSet[str],
+    output_rows: float,
+) -> List[AccessPath]:
+    paths: List[AccessPath] = []
+    filters = query.filters_on(table)
+    row_count = schema.table(table).row_count
+    for index in config.indexes_on(table):
+        leaf_pages = index.leaf_pages(schema, params.page_bytes)
+        covering = index.covers(needed)
+        key_sel, used = _key_prefix_selectivity(index, filters, stats)
+        if used > 0:
+            matching = max(1.0, row_count * key_sel)
+            cost = (
+                params.seek_cost
+                + key_sel * leaf_pages * params.seq_page_cost
+                + matching * params.cpu_row_cost
+            )
+            if not covering:
+                cost += matching * params.random_page_cost
+            paths.append(
+                AccessPath("index_seek", table, index, cost, output_rows)
+            )
+        elif covering:
+            cost = (
+                leaf_pages * params.seq_page_cost
+                + row_count * params.cpu_row_cost
+            )
+            paths.append(
+                AccessPath("covering_scan", table, index, cost, output_rows)
+            )
+    return paths
+
+
+def best_access_path(
+    query: Query,
+    table: str,
+    config: Configuration,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+) -> AccessPath:
+    """Choose the cheapest access path for ``table`` under ``config``."""
+    sel = table_selectivity(query, table, stats)
+    output_rows = max(1.0, schema.table(table).row_count * sel)
+    best = _heap_scan(query, table, schema, stats, params, output_rows)
+    for path in _index_paths(
+        query, table, schema, stats, params, config, needed_columns(
+            query, table
+        ), output_rows,
+    ):
+        if path.cost < best.cost:
+            best = path
+    return best
+
+
+def suggest_index(
+    query: Query, table: str, stats: StatisticsCatalog
+) -> Optional[Index]:
+    """The index that would be optimal for this table access ([2]-style).
+
+    Key columns are the filter columns ordered by ascending estimated
+    selectivity with equality predicates first (so the most selective
+    equality predicates form the seek prefix); all other referenced
+    columns of the table become INCLUDE columns, making the suggestion
+    covering.  Returns ``None`` when the query touches no columns of
+    the table (nothing to index).
+    """
+    filters = query.filters_on(table)
+    needed = needed_columns(query, table)
+    if not needed:
+        return None
+
+    def sort_key(pred: Predicate) -> Tuple[int, float, str]:
+        eq_first = 0 if isinstance(pred, EqPredicate) else 1
+        return (
+            eq_first,
+            predicate_selectivity(pred, stats),
+            pred.column.column,
+        )
+
+    ordered = sorted(filters, key=sort_key)
+    keys: List[str] = []
+    for pred in ordered:
+        if pred.column.column not in keys:
+            keys.append(pred.column.column)
+    if not keys:
+        # No filters: suggest a covering index over the needed columns
+        # (narrow scan beats the heap when the table is wide).
+        keys = sorted(needed)[:1]
+    includes = tuple(sorted(needed - set(keys)))
+    return Index(table, tuple(keys), includes)

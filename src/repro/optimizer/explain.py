@@ -1,0 +1,76 @@
+"""Textual EXPLAIN output for simulated query plans.
+
+Developer-facing: renders a :class:`~repro.optimizer.whatif.QueryPlan`
+as an indented operator tree, the way one would inspect a real
+optimizer's choices.  Used by the examples and by humans debugging why
+a configuration did (not) help a query.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .whatif import QueryPlan
+
+__all__ = ["explain_plan"]
+
+
+def _fmt_cost(value: float) -> str:
+    return f"{value:,.1f}"
+
+
+def explain_plan(plan: QueryPlan) -> str:
+    """Render a plan as indented text.
+
+    Example output::
+
+        Plan  cost=1,224.9  rows=14,598
+          HashJoin  cost=202.9  rows=14,598
+            HeapScan orders  cost=982.0  rows=100,000
+            HeapScan customer  cost=40.0  rows=730
+    """
+    lines: List[str] = [
+        f"Plan  cost={_fmt_cost(plan.total_cost)}  "
+        f"rows={plan.output_rows:,.0f}"
+    ]
+    indent = "  "
+    if plan.sort_cost > 0:
+        lines.append(f"{indent}Sort  cost={_fmt_cost(plan.sort_cost)}")
+        indent += "  "
+    if plan.aggregation_cost > 0:
+        lines.append(
+            f"{indent}Aggregate  cost={_fmt_cost(plan.aggregation_cost)}"
+        )
+        indent += "  "
+
+    if plan.view is not None:
+        lines.append(
+            f"{indent}ViewScan {plan.view.name}"
+        )
+    if plan.join_plan is not None and plan.join_plan.steps:
+        for step in reversed(plan.join_plan.steps):
+            method = {
+                "hash": "HashJoin",
+                "merge": "MergeJoin",
+                "index_nested_loop": "IndexNestedLoop",
+                "cross": "CrossProduct",
+            }.get(step.method, step.method)
+            extra = f" via {step.index.name}" if step.index else ""
+            lines.append(
+                f"{indent}{method}{extra}  "
+                f"cost={_fmt_cost(step.operator_cost)}  "
+                f"rows={step.output_rows:,.0f}"
+            )
+            indent += "  "
+    for path in plan.access_paths:
+        kind = {
+            "heap_scan": "HeapScan",
+            "index_seek": "IndexSeek",
+            "covering_scan": "CoveringScan",
+        }.get(path.kind, path.kind)
+        via = f" via {path.index.name}" if path.index else ""
+        lines.append(
+            f"{indent}{kind} {path.table}{via}  "
+            f"cost={_fmt_cost(path.cost)}  rows={path.output_rows:,.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,356 @@
+"""Greedy join ordering and join-operator costing.
+
+The simulated optimizer uses the classic greedy heuristic: starting
+from one intermediate result per base table (costed by access-path
+selection), repeatedly merge the pair of intermediates connected by a
+join predicate whose result has the smallest estimated cardinality,
+until one intermediate remains.  Disconnected join graphs fall back to
+cross products (never produced by our generators, but handled).
+
+Two physical join operators are considered for every merge:
+
+* **hash join** — build on the smaller input, probe with the larger;
+* **index nested-loop join** — applicable when the inner side is a
+  single base table with an index whose leading key is the inner join
+  column; replaces the inner's access path with per-probe seeks.
+
+Cheaper operator wins.  This is deliberately simpler than a real
+System-R DP but preserves the property the paper's statistics rely on:
+join count and base cardinalities dominate cost, so query cost rankings
+are stable across configurations (Section 4.2's covariance argument).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..catalog.schema import Schema
+from ..catalog.stats import StatisticsCatalog
+from ..physical.configuration import Configuration
+from ..physical.structures import Index
+from ..queries.ast import JoinPredicate, Query
+from .access_paths import AccessPath, needed_columns
+from .params import CostParams
+from .selectivity import join_selectivity, table_selectivity
+
+__all__ = ["JoinStep", "JoinPlan", "plan_joins", "plan_joins_over",
+           "Intermediate"]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One executed join: which sides, which operator, what it cost."""
+
+    left_tables: FrozenSet[str]
+    right_tables: FrozenSet[str]
+    method: str  # "hash" | "merge" | "index_nested_loop" | "cross"
+    operator_cost: float
+    output_rows: float
+    index: Optional[Index] = None
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """The result of planning all joins of a query."""
+
+    total_cost: float
+    output_rows: float
+    steps: Tuple[JoinStep, ...]
+
+
+@dataclass
+class _Intermediate:
+    """A partially joined result during greedy enumeration."""
+
+    tables: FrozenSet[str]
+    rows: float
+    cost: float
+    is_base: bool
+
+
+def _predicates_between(
+    preds: Sequence[JoinPredicate], a: FrozenSet[str], b: FrozenSet[str]
+) -> List[JoinPredicate]:
+    """Join predicates with one side in ``a`` and the other in ``b``."""
+    out = []
+    for jp in preds:
+        t1, t2 = jp.tables()
+        if (t1 in a and t2 in b) or (t1 in b and t2 in a):
+            out.append(jp)
+    return out
+
+
+def _hash_cost(
+    left_rows: float, right_rows: float, params: CostParams
+) -> float:
+    build = min(left_rows, right_rows)
+    probe = max(left_rows, right_rows)
+    return (
+        build * params.hash_build_row_cost
+        + probe * params.hash_probe_row_cost
+    )
+
+
+def _sorted_by(
+    inter: "_Intermediate",
+    column: str,
+    config: Configuration,
+) -> bool:
+    """Whether a base-table intermediate is already ordered on ``column``.
+
+    True when some index of the configuration has ``column`` as its
+    leading key (a covering ordered scan delivers sorted output).
+    Joined intermediates lose ordering in this simplified model.
+    """
+    if not inter.is_base:
+        return False
+    (table,) = inter.tables
+    return any(
+        ix.leading_column == column for ix in config.indexes_on(table)
+    )
+
+
+def _merge_join_cost(
+    a: "_Intermediate",
+    b: "_Intermediate",
+    jp: JoinPredicate,
+    config: Configuration,
+    params: CostParams,
+) -> float:
+    """Sort-merge join: sort unsorted inputs, then a linear merge."""
+    cost = (a.rows + b.rows) * params.cpu_row_cost
+    for inter, column in (
+        (a, jp.left.column if jp.left.table in a.tables
+         else jp.right.column),
+        (b, jp.right.column if jp.right.table in b.tables
+         else jp.left.column),
+    ):
+        if not _sorted_by(inter, column, config):
+            cost += inter.rows * max(
+                1.0, math.log2(max(2.0, inter.rows))
+            ) * params.sort_row_cost
+    return cost
+
+
+def _inl_candidate(
+    inner: _Intermediate,
+    preds: Sequence[JoinPredicate],
+    config: Configuration,
+    query: Query,
+    schema: Schema,
+    stats: StatisticsCatalog,
+) -> Optional[Tuple[Index, JoinPredicate]]:
+    """An index usable for nested-loop into ``inner``, if any.
+
+    The inner side must be an un-joined base table with an index whose
+    leading key column is the inner column of some join predicate.
+    """
+    if not inner.is_base:
+        return None
+    (table,) = inner.tables
+    for jp in preds:
+        inner_col = (
+            jp.left.column if jp.left.table == table else jp.right.column
+        )
+        for index in config.indexes_on(table):
+            if index.leading_column == inner_col:
+                return index, jp
+    return None
+
+
+def _inl_cost(
+    outer_rows: float,
+    inner_table: str,
+    join_sel: float,
+    covering: bool,
+    query: Query,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+) -> float:
+    inner_rows = schema.table(inner_table).row_count
+    matches_per_probe = max(1.0, inner_rows * join_sel)
+    per_match = params.cpu_row_cost
+    if not covering:
+        # Each match requires a random heap lookup.
+        per_match += params.random_page_cost
+    per_probe = params.seek_cost + matches_per_probe * per_match
+    return outer_rows * per_probe
+
+
+def _merge(
+    a: _Intermediate,
+    b: _Intermediate,
+    preds: Sequence[JoinPredicate],
+    query: Query,
+    config: Configuration,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+) -> Tuple[_Intermediate, JoinStep]:
+    """Join two intermediates along ``preds`` with the cheaper operator."""
+    combined_sel = 1.0
+    for jp in preds:
+        combined_sel *= join_selectivity(jp, stats)
+    output_rows = max(1.0, a.rows * b.rows * combined_sel)
+
+    hash_cost = _hash_cost(a.rows, b.rows, params)
+    best_method = "hash"
+    best_cost = a.cost + b.cost + hash_cost
+    best_operator_cost = hash_cost
+    best_index: Optional[Index] = None
+
+    # Sort-merge join (single equi-join predicate): wins when ordered
+    # covering indexes make both inputs pre-sorted.
+    if len(preds) == 1:
+        merge_cost = _merge_join_cost(a, b, preds[0], config, params)
+        total = a.cost + b.cost + merge_cost
+        if total < best_cost:
+            best_cost = total
+            best_method = "merge"
+            best_operator_cost = merge_cost
+
+    # Try index nested-loop with either side as the inner base table.
+    for outer, inner in ((a, b), (b, a)):
+        candidate = _inl_candidate(inner, preds, config, query, schema, stats)
+        if candidate is None:
+            continue
+        index, _jp = candidate
+        (inner_table,) = inner.tables
+        covering = index.covers(needed_columns(query, inner_table))
+        operator_cost = _inl_cost(
+            outer.rows, inner_table, combined_sel, covering, query, schema,
+            stats, params,
+        )
+        # INL replaces the inner access path: its scan cost is not paid.
+        total = outer.cost + operator_cost
+        # Filters on the inner table still reduce the output.
+        inner_filter_sel = table_selectivity(query, inner_table, stats)
+        inl_output = max(
+            1.0, outer.rows * schema.table(inner_table).row_count
+            * combined_sel * inner_filter_sel
+        )
+        if total < best_cost:
+            best_cost = total
+            best_method = "index_nested_loop"
+            best_operator_cost = operator_cost
+            best_index = index
+            output_rows = inl_output
+
+    merged = _Intermediate(
+        tables=a.tables | b.tables,
+        rows=output_rows,
+        cost=best_cost,
+        is_base=False,
+    )
+    step = JoinStep(
+        left_tables=a.tables,
+        right_tables=b.tables,
+        method=best_method,
+        operator_cost=best_operator_cost,
+        output_rows=output_rows,
+        index=best_index,
+    )
+    return merged, step
+
+
+def plan_joins(
+    query: Query,
+    paths: Dict[str, AccessPath],
+    config: Configuration,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+) -> JoinPlan:
+    """Greedily order and cost all joins of ``query``.
+
+    ``paths`` maps each table in the FROM list (that is *not* replaced
+    by a materialized view) to its chosen access path.  Tables replaced
+    by a view are handled by the caller, which passes a synthetic
+    intermediate instead; see :mod:`repro.optimizer.whatif`.
+    """
+    intermediates: List[_Intermediate] = [
+        _Intermediate(
+            tables=frozenset([t]),
+            rows=path.output_rows,
+            cost=path.cost,
+            is_base=True,
+        )
+        for t, path in paths.items()
+    ]
+    return plan_joins_over(
+        intermediates, query, config, schema, stats, params
+    )
+
+
+def plan_joins_over(
+    intermediates: List[_Intermediate],
+    query: Query,
+    config: Configuration,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+) -> JoinPlan:
+    """Greedy join planning over pre-built intermediates.
+
+    Exposed separately so the view-matching layer can seed the search
+    with a view-scan intermediate standing in for several base tables.
+    """
+    work = list(intermediates)
+    preds = query.join_predicates
+    steps: List[JoinStep] = []
+
+    while len(work) > 1:
+        best_pair: Optional[Tuple[int, int]] = None
+        best_rows = math.inf
+        for i in range(len(work)):
+            for j in range(i + 1, len(work)):
+                between = _predicates_between(
+                    preds, work[i].tables, work[j].tables
+                )
+                if not between:
+                    continue
+                sel = 1.0
+                for jp in between:
+                    sel *= join_selectivity(jp, stats)
+                rows = work[i].rows * work[j].rows * sel
+                if rows < best_rows:
+                    best_rows = rows
+                    best_pair = (i, j)
+        if best_pair is None:
+            # Disconnected join graph: cross product of the two smallest.
+            work.sort(key=lambda im: im.rows)
+            a, b = work[0], work[1]
+            rows = max(1.0, a.rows * b.rows)
+            operator_cost = rows * params.cpu_row_cost
+            merged = _Intermediate(
+                a.tables | b.tables, rows, a.cost + b.cost + operator_cost,
+                is_base=False,
+            )
+            steps.append(
+                JoinStep(a.tables, b.tables, "cross", operator_cost, rows)
+            )
+            work = [merged] + work[2:]
+            continue
+        i, j = best_pair
+        between = _predicates_between(preds, work[i].tables, work[j].tables)
+        merged, step = _merge(
+            work[i], work[j], between, query, config, schema, stats, params
+        )
+        steps.append(step)
+        work = [w for k, w in enumerate(work) if k not in (i, j)]
+        work.append(merged)
+
+    final = work[0]
+    return JoinPlan(
+        total_cost=final.cost,
+        output_rows=final.rows,
+        steps=tuple(steps),
+    )
+
+
+#: Public alias so the view-matching layer can seed the greedy search
+#: with a synthetic intermediate standing in for a view scan.
+Intermediate = _Intermediate

@@ -1,0 +1,87 @@
+"""Tunable constants of the simulated cost model.
+
+Grouping the magic numbers in one dataclass keeps the operator costing
+code readable and lets tests construct models with exaggerated
+parameters (e.g. very expensive index maintenance) to probe specific
+behaviours.
+
+Units are abstract "optimizer cost units"; one unit is roughly one
+sequential page read.  Only *relative* magnitudes matter for the
+reproduction: the paper's primitive consumes optimizer-estimated costs
+as opaque numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostParams", "COST_MODEL_VERSION"]
+
+#: Bumped whenever the cost model's plan space or operator formulas
+#: change; cached ground-truth matrices embed it so stale caches are
+#: never reused across model revisions.
+COST_MODEL_VERSION = 2
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Cost-model constants.
+
+    Attributes
+    ----------
+    page_bytes:
+        Page size used for page-count estimation.
+    seq_page_cost:
+        Cost of reading one page sequentially.
+    random_page_cost:
+        Cost of one random page access (index lookup into the heap).
+    cpu_row_cost:
+        CPU cost of processing one row through an operator.
+    seek_cost:
+        Cost of descending a B+-tree (per seek).
+    hash_build_row_cost:
+        Per-row cost of building a hash table.
+    hash_probe_row_cost:
+        Per-row cost of probing a hash table.
+    sort_row_cost:
+        Per-row-per-log2(rows) cost of sorting.
+    agg_row_cost:
+        Per-row cost of hash aggregation.
+    index_maint_cost:
+        Cost of maintaining one index entry for one modified row.
+    view_maint_cost:
+        Cost of maintaining one materialized view for one modified base
+        row (views are much more expensive to maintain than indexes).
+    insert_base_cost:
+        Fixed cost of inserting a row into the heap.
+    modify_row_cost:
+        Per-row cost of applying an UPDATE/DELETE to the heap.
+    """
+
+    page_bytes: int = 8192
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_row_cost: float = 0.002
+    seek_cost: float = 3.0
+    hash_build_row_cost: float = 0.004
+    hash_probe_row_cost: float = 0.002
+    sort_row_cost: float = 0.001
+    agg_row_cost: float = 0.003
+    index_maint_cost: float = 2.0
+    view_maint_cost: float = 12.0
+    insert_base_cost: float = 1.0
+    modify_row_cost: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "seq_page_cost",
+            "random_page_cost",
+            "cpu_row_cost",
+            "seek_cost",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+#: The default parameter set used throughout the experiments.
+DEFAULT_PARAMS = CostParams()

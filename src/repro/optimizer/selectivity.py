@@ -1,0 +1,86 @@
+"""Selectivity estimation for the simulated optimizer.
+
+Standard System-R style estimation: per-predicate selectivities come
+from the histogram layer (:mod:`repro.catalog.stats`), conjunctions
+assume independence, and equi-join selectivity is ``1 / max(d_l, d_r)``
+over the joined columns' distinct counts.
+
+All estimates are deterministic functions of the schema statistics and
+the query constants, which keeps ``Cost(q, C)`` a fixed number — the
+quantity the paper's primitive estimates by sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..catalog.stats import StatisticsCatalog
+from ..queries.ast import (
+    EqPredicate,
+    InPredicate,
+    JoinPredicate,
+    Predicate,
+    Query,
+    RangePredicate,
+)
+
+__all__ = [
+    "predicate_selectivity",
+    "conjunction_selectivity",
+    "table_selectivity",
+    "join_selectivity",
+    "filtered_cardinality",
+]
+
+#: Lower clamp on any selectivity, so cardinalities never collapse to
+#: exactly zero (real optimizers behave the same way).
+MIN_SELECTIVITY = 1e-9
+
+
+def predicate_selectivity(
+    pred: Predicate, stats: StatisticsCatalog
+) -> float:
+    """Histogram-estimated selectivity of one filter predicate."""
+    col_stats = stats.column(pred.column.table, pred.column.column)
+    if isinstance(pred, EqPredicate):
+        sel = col_stats.estimate_eq(pred.value)
+    elif isinstance(pred, RangePredicate):
+        sel = col_stats.estimate_range(pred.lo, pred.hi)
+    elif isinstance(pred, InPredicate):
+        sel = col_stats.estimate_in(pred.values)
+    else:
+        raise TypeError(f"unknown predicate type {type(pred).__name__}")
+    return max(MIN_SELECTIVITY, min(1.0, sel))
+
+
+def conjunction_selectivity(
+    predicates: Iterable[Predicate], stats: StatisticsCatalog
+) -> float:
+    """Selectivity of a conjunction under the independence assumption."""
+    sel = 1.0
+    for pred in predicates:
+        sel *= predicate_selectivity(pred, stats)
+    return max(MIN_SELECTIVITY, sel)
+
+
+def table_selectivity(
+    query: Query, table: str, stats: StatisticsCatalog
+) -> float:
+    """Combined selectivity of all of ``query``'s filters on ``table``."""
+    return conjunction_selectivity(query.filters_on(table), stats)
+
+
+def filtered_cardinality(
+    query: Query, table: str, stats: StatisticsCatalog
+) -> float:
+    """Estimated number of rows of ``table`` surviving the filters."""
+    row_count = stats.table(table).row_count
+    return max(1.0, row_count * table_selectivity(query, table, stats))
+
+
+def join_selectivity(jp: JoinPredicate, stats: StatisticsCatalog) -> float:
+    """Equi-join selectivity ``1 / max(d_left, d_right)``."""
+    left = stats.column(jp.left.table, jp.left.column)
+    right = stats.column(jp.right.table, jp.right.column)
+    denom = max(left.distinct_count, right.distinct_count, 1)
+    return max(MIN_SELECTIVITY, 1.0 / denom)

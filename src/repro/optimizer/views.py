@@ -1,0 +1,148 @@
+"""Materialized-view matching and costing.
+
+A view matches a SELECT query when its joined tables form a subset of
+the query's FROM list and every join edge of the view appears in the
+query (compared structurally, ignoring constants).  Aggregated views
+additionally require an exact match of the query's table set and
+GROUP BY list — the common "answer the query straight from the view"
+case.
+
+When a view matches, the optimizer replaces the covered base tables
+with a single scan of the view; residual filters on covered tables
+still apply (their columns must survive in the view, which join-only
+views guarantee and aggregated views restrict to GROUP BY columns).
+The plan search in :mod:`repro.optimizer.whatif` considers the no-view
+plan and one plan per matching view, keeping the cheapest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..catalog.schema import Schema
+from ..catalog.stats import StatisticsCatalog
+from ..physical.configuration import Configuration
+from ..physical.structures import MaterializedView
+from ..queries.ast import Query, QueryType
+from .joins import Intermediate
+from .params import CostParams
+from .selectivity import conjunction_selectivity, join_selectivity
+
+__all__ = [
+    "view_cardinality",
+    "view_scan_cost",
+    "matching_views",
+    "view_intermediate",
+]
+
+
+def view_cardinality(
+    view: MaterializedView, schema: Schema, stats: StatisticsCatalog
+) -> float:
+    """Estimated number of rows stored in the view.
+
+    Join cardinality under independence, capped for aggregated views by
+    the product of the GROUP BY columns' distinct counts.
+    """
+    rows = 1.0
+    for table in view.tables:
+        rows *= max(1, schema.table(table).row_count)
+    for jp in view.join_predicates:
+        rows *= join_selectivity(jp, stats)
+    rows = max(1.0, rows)
+    if view.group_by:
+        groups = 1.0
+        for ref in view.group_by:
+            groups *= stats.column(ref.table, ref.column).distinct_count
+        rows = min(rows, groups)
+    return max(1.0, rows)
+
+
+def _view_row_width(view: MaterializedView, schema: Schema) -> int:
+    """Approximate stored row width of the view in bytes."""
+    if view.group_by:
+        width = sum(
+            schema.column(ref.table, ref.column).width
+            for ref in view.group_by
+        )
+        width += 8 * max(1, len(view.aggregates))
+        return max(16, width)
+    # Join views retain all columns of the joined tables.
+    return max(16, sum(schema.table(t).row_width for t in view.tables))
+
+
+def view_scan_cost(
+    view: MaterializedView,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+) -> float:
+    """Cost of sequentially scanning the materialized view."""
+    rows = view_cardinality(view, schema, stats)
+    width = _view_row_width(view, schema)
+    per_page = max(1, params.page_bytes // width)
+    pages = max(1, -(-int(rows) // per_page))
+    return pages * params.seq_page_cost + rows * params.cpu_row_cost
+
+
+def _filters_survive(view: MaterializedView, query: Query) -> bool:
+    """Whether every residual filter column survives in the view."""
+    if not view.group_by:
+        return True  # join views keep all base columns
+    kept = {(ref.table, ref.column) for ref in view.group_by}
+    for pred in query.filters:
+        key = (pred.column.table, pred.column.column)
+        if pred.column.table in view.table_set and key not in kept:
+            return False
+    return True
+
+
+def matching_views(
+    query: Query, config: Configuration
+) -> List[MaterializedView]:
+    """All views of ``config`` applicable to ``query``."""
+    if query.qtype != QueryType.SELECT:
+        return []
+    query_tables = set(query.tables)
+    query_edges = frozenset(
+        jp.template_part() for jp in query.join_predicates
+    )
+    matches: List[MaterializedView] = []
+    for view in config.views:
+        if not view.table_set <= query_tables:
+            continue
+        if not view.join_edge_keys() <= query_edges:
+            continue
+        if view.group_by:
+            if view.table_set != query_tables:
+                continue
+            if tuple(view.group_by) != tuple(query.group_by):
+                continue
+        if not _filters_survive(view, query):
+            continue
+        matches.append(view)
+    return matches
+
+
+def view_intermediate(
+    query: Query,
+    view: MaterializedView,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+) -> Intermediate:
+    """Build the join-search intermediate that scans ``view``.
+
+    The intermediate stands in for all of the view's base tables; its
+    cardinality is the view cardinality reduced by the query's residual
+    filters on covered tables, and its cost is the view scan.
+    """
+    residual = [
+        pred for pred in query.filters if pred.column.table in view.table_set
+    ]
+    sel = conjunction_selectivity(residual, stats) if residual else 1.0
+    rows = max(1.0, view_cardinality(view, schema, stats) * sel)
+    cost = view_scan_cost(view, schema, stats, params)
+    return Intermediate(
+        tables=view.table_set, rows=rows, cost=cost, is_base=False
+    )

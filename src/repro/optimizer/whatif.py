@@ -1,0 +1,293 @@
+"""The what-if optimizer: ``Cost(q, C)`` with caching and call counting.
+
+This is the simulated counterpart of the "What-if" analysis API [8] the
+paper builds on: given a query and a *hypothetical* configuration, it
+returns the optimizer-estimated execution cost, without the structures
+ever existing.  The paper's comparison primitive treats each invocation
+as the expensive unit of work to minimize; :attr:`WhatIfOptimizer.calls`
+counts them so experiments can report optimizer-call savings.
+
+Plan search for a SELECT:
+
+1. choose the best access path per base table;
+2. greedily order the joins (:mod:`repro.optimizer.joins`);
+3. repeat with each matching materialized view replacing its covered
+   tables (:mod:`repro.optimizer.views`); keep the cheapest;
+4. add aggregation / ordering costs on the final cardinality.
+
+DML statements split into a SELECT part plus maintenance costs
+(:mod:`repro.optimizer.update_cost`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..catalog.schema import Schema
+from ..catalog.stats import StatisticsCatalog
+from ..physical.configuration import Configuration
+from ..physical.structures import Index, MaterializedView
+from ..queries.ast import Query, QueryType
+from .access_paths import AccessPath, best_access_path, suggest_index
+from .joins import Intermediate, JoinPlan, plan_joins, plan_joins_over
+from .params import DEFAULT_PARAMS, CostParams
+from .selectivity import table_selectivity
+from .update_cost import select_part, update_statement_cost
+from .views import matching_views, view_intermediate
+
+__all__ = ["QueryPlan", "WhatIfOptimizer"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An explain-style description of the chosen plan."""
+
+    total_cost: float
+    output_rows: float
+    access_paths: Tuple[AccessPath, ...]
+    join_plan: Optional[JoinPlan]
+    view: Optional[MaterializedView]
+    aggregation_cost: float = 0.0
+    sort_cost: float = 0.0
+
+
+class WhatIfOptimizer:
+    """Deterministic cost model with per-(query, configuration) caching.
+
+    Parameters
+    ----------
+    schema:
+        The logical schema queries run against.
+    params:
+        Cost-model constants (defaults to :data:`DEFAULT_PARAMS`).
+    bucket_count:
+        Histogram resolution for selectivity estimation.
+
+    Notes
+    -----
+    :attr:`calls` counts *optimizer invocations*, i.e. cache misses;
+    the paper's efficiency metric is the number of such calls.  Cache
+    hits are counted separately in :attr:`cache_hits`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        params: CostParams = DEFAULT_PARAMS,
+        bucket_count: int = 32,
+    ) -> None:
+        self.schema = schema
+        self.params = params
+        self.stats = StatisticsCatalog(schema, bucket_count=bucket_count)
+        self.calls = 0
+        self.cache_hits = 0
+        self._cache: Dict[Tuple[Query, Configuration], float] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def cost(self, query: Query, config: Configuration) -> float:
+        """Optimizer-estimated cost of ``query`` under ``config``.
+
+        Cached: repeated calls for the same pair are free and do not
+        increment :attr:`calls`.
+        """
+        key = (query, config)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.calls += 1
+        value = self.plan(query, config).total_cost
+        self._cache[key] = value
+        return value
+
+    def plan(self, query: Query, config: Configuration) -> QueryPlan:
+        """Full plan (not cached; used by tests, explain and bounds)."""
+        if query.qtype == QueryType.SELECT:
+            return self._plan_select(query, config)
+        return self._plan_dml(query, config)
+
+    def reset_counters(self) -> None:
+        """Zero the call counters (cache contents are kept)."""
+        self.calls = 0
+        self.cache_hits = 0
+
+    def clear_cache(self) -> None:
+        """Drop all cached costs."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # instrumentation ([2]-style suggestions, used for cost bounds)
+    # ------------------------------------------------------------------
+    def recommended_indexes(self, query: Query) -> List[Index]:
+        """The per-table indexes that would be optimal for this query."""
+        target = (
+            query.tables
+            if query.qtype == QueryType.SELECT
+            else (query.target_table,)
+        )
+        suggestions = []
+        for table in target:
+            ix = suggest_index(query, table, self.stats)
+            if ix is not None:
+                suggestions.append(ix)
+        return suggestions
+
+    def recommended_views(self, query: Query) -> List[MaterializedView]:
+        """View suggestions for multi-join / aggregated SELECT queries."""
+        if query.qtype != QueryType.SELECT or query.join_count == 0:
+            return []
+        suggestions = [
+            MaterializedView(
+                tables=query.tables,
+                join_predicates=query.join_predicates,
+            )
+        ]
+        if query.group_by:
+            suggestions.append(
+                MaterializedView(
+                    tables=query.tables,
+                    join_predicates=query.join_predicates,
+                    group_by=query.group_by,
+                    aggregates=query.aggregates,
+                )
+            )
+        return suggestions
+
+    def ideal_configuration(self, query: Query) -> Configuration:
+        """All structures the instrumentation deems useful for ``query``.
+
+        The query's cost in this configuration lower-bounds its cost in
+        any configuration a design tool would enumerate (Section 6.1).
+        """
+        return Configuration(
+            indexes=self.recommended_indexes(query),
+            views=self.recommended_views(query),
+            name="ideal",
+        )
+
+    # ------------------------------------------------------------------
+    # SELECT planning
+    # ------------------------------------------------------------------
+    def _plan_select(self, query: Query, config: Configuration) -> QueryPlan:
+        paths = {
+            table: best_access_path(
+                query, table, config, self.schema, self.stats, self.params
+            )
+            for table in query.tables
+        }
+        best_join = plan_joins(
+            query, paths, config, self.schema, self.stats, self.params
+        )
+        best_paths = tuple(paths.values())
+        best_view: Optional[MaterializedView] = None
+
+        for view in matching_views(query, config):
+            seed = [
+                view_intermediate(
+                    query, view, self.schema, self.stats, self.params
+                )
+            ]
+            uncovered_paths = []
+            for table in query.tables:
+                if table in view.table_set:
+                    continue
+                path = paths[table]
+                seed.append(
+                    Intermediate(
+                        tables=frozenset([table]),
+                        rows=path.output_rows,
+                        cost=path.cost,
+                        is_base=True,
+                    )
+                )
+                uncovered_paths.append(path)
+            candidate = plan_joins_over(
+                seed, query, config, self.schema, self.stats, self.params
+            )
+            if candidate.total_cost < best_join.total_cost:
+                best_join = candidate
+                best_view = view
+                best_paths = tuple(uncovered_paths)
+
+        agg_cost = self._aggregation_cost(query, best_join.output_rows,
+                                          best_view)
+        sort_cost = self._sort_cost(query, best_join.output_rows,
+                                    best_paths)
+        total = best_join.total_cost + agg_cost + sort_cost
+        return QueryPlan(
+            total_cost=total,
+            output_rows=best_join.output_rows,
+            access_paths=best_paths,
+            join_plan=best_join,
+            view=best_view,
+            aggregation_cost=agg_cost,
+            sort_cost=sort_cost,
+        )
+
+    def _aggregation_cost(
+        self,
+        query: Query,
+        rows: float,
+        view: Optional[MaterializedView],
+    ) -> float:
+        if not query.aggregates and not query.group_by:
+            return 0.0
+        if view is not None and view.group_by:
+            # The view already stores aggregated results.
+            return 0.0
+        return rows * self.params.agg_row_cost
+
+    def _sort_cost(
+        self,
+        query: Query,
+        rows: float,
+        paths: Tuple[AccessPath, ...] = (),
+    ) -> float:
+        if not query.order_by:
+            return 0.0
+        # Sort elision: a single-table plan whose index delivers rows
+        # already ordered on the leading ORDER BY column needs no sort.
+        if len(query.tables) == 1 and len(paths) == 1:
+            path = paths[0]
+            lead = query.order_by[0]
+            if (
+                path.index is not None
+                and lead.table == path.table
+                and path.index.leading_column == lead.column
+            ):
+                return 0.0
+        return rows * max(1.0, math.log2(max(2.0, rows))) \
+            * self.params.sort_row_cost
+
+    # ------------------------------------------------------------------
+    # DML planning
+    # ------------------------------------------------------------------
+    def _plan_dml(self, query: Query, config: Configuration) -> QueryPlan:
+        if query.qtype == QueryType.INSERT:
+            total = update_statement_cost(
+                query, config, self.schema, self.stats, self.params, 0.0
+            )
+            return QueryPlan(
+                total_cost=total,
+                output_rows=1.0,
+                access_paths=(),
+                join_plan=None,
+                view=None,
+            )
+        locate = select_part(query)
+        locate_plan = self._plan_select(locate, config)
+        total = update_statement_cost(
+            query, config, self.schema, self.stats, self.params,
+            locate_plan.total_cost,
+        )
+        return QueryPlan(
+            total_cost=total,
+            output_rows=locate_plan.output_rows,
+            access_paths=locate_plan.access_paths,
+            join_plan=locate_plan.join_plan,
+            view=None,
+        )

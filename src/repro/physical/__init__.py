@@ -1,0 +1,15 @@
+"""Physical design substrate: indexes, views, configurations, candidates."""
+
+from .candidates import CandidatePool, build_pool, enumerate_configurations
+from .configuration import Configuration, base_configuration
+from .structures import Index, MaterializedView
+
+__all__ = [
+    "CandidatePool",
+    "build_pool",
+    "enumerate_configurations",
+    "Configuration",
+    "base_configuration",
+    "Index",
+    "MaterializedView",
+]

@@ -1,0 +1,176 @@
+"""Candidate generation and configuration enumeration.
+
+The paper's primitive compares configurations "collected from a
+commercial physical design tool" (Section 7.2).  This module plays that
+tool's enumeration role: it derives candidate indexes and views from a
+workload via the optimizer's instrumentation, then assembles candidate
+configurations as weighted subsets of the pool.
+
+Structures suggested by many queries carry high weight and therefore
+appear in many enumerated configurations — reproducing the overlap
+structure Section 7 manipulates (pairs "sharing a significant number of
+design structures" vs pairs with "little overlap").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..queries.ast import Query
+from .configuration import Configuration
+from .structures import Index, MaterializedView
+
+__all__ = ["CandidatePool", "build_pool", "enumerate_configurations"]
+
+
+@dataclass
+class CandidatePool:
+    """Candidate structures with per-structure usefulness weights.
+
+    ``index_weights`` / ``view_weights`` count how many workload queries
+    suggested each structure; enumeration samples proportionally to
+    these counts.
+    """
+
+    index_weights: Dict[Index, int] = field(default_factory=dict)
+    view_weights: Dict[MaterializedView, int] = field(default_factory=dict)
+
+    def add_index(self, index: Index, weight: int = 1) -> None:
+        """Record (or re-weight) an index candidate."""
+        self.index_weights[index] = self.index_weights.get(index, 0) + weight
+
+    def add_view(self, view: MaterializedView, weight: int = 1) -> None:
+        """Record (or re-weight) a view candidate."""
+        self.view_weights[view] = self.view_weights.get(view, 0) + weight
+
+    @property
+    def indexes(self) -> List[Index]:
+        """All candidate indexes, deterministic order."""
+        return sorted(self.index_weights)
+
+    @property
+    def views(self) -> List[MaterializedView]:
+        """All candidate views, deterministic order (by name)."""
+        return sorted(self.view_weights, key=lambda v: v.name)
+
+    @property
+    def size(self) -> int:
+        """Total number of candidate structures."""
+        return len(self.index_weights) + len(self.view_weights)
+
+
+def _index_variants(index: Index) -> List[Index]:
+    """Merge-style variants of a suggested index.
+
+    A design tool generates, besides the full covering suggestion, a
+    keys-only variant and a single-leading-column variant (cheaper to
+    store, less useful).  Deduplication happens in the pool.
+    """
+    variants = [index]
+    if index.include_columns:
+        variants.append(Index(index.table, index.key_columns))
+    if len(index.key_columns) > 1:
+        variants.append(Index(index.table, (index.leading_column,)))
+    return variants
+
+
+def build_pool(
+    queries: Iterable[Query],
+    optimizer: "WhatIfOptimizer",
+    include_views: bool = True,
+) -> CandidatePool:
+    """Build a candidate pool from per-query optimizer suggestions.
+
+    ``optimizer`` is a :class:`repro.optimizer.whatif.WhatIfOptimizer`;
+    typed loosely to avoid a circular import.
+    """
+    pool = CandidatePool()
+    for query in queries:
+        for suggestion in optimizer.recommended_indexes(query):
+            for variant in _index_variants(suggestion):
+                pool.add_index(variant)
+        if include_views:
+            for view in optimizer.recommended_views(query):
+                pool.add_view(view)
+    return pool
+
+
+def _weighted_subset(
+    items: Sequence,
+    weights: Sequence[float],
+    count: int,
+    rng: np.random.Generator,
+) -> List:
+    """Sample ``count`` distinct items proportionally to ``weights``."""
+    if count <= 0 or not items:
+        return []
+    count = min(count, len(items))
+    probs = np.asarray(weights, dtype=np.float64)
+    total = probs.sum()
+    if total <= 0:
+        probs = np.full(len(items), 1.0 / len(items))
+    else:
+        probs = probs / total
+    chosen = rng.choice(len(items), size=count, replace=False, p=probs)
+    return [items[i] for i in sorted(chosen)]
+
+
+def enumerate_configurations(
+    pool: CandidatePool,
+    k: int,
+    rng: np.random.Generator,
+    index_only: bool = False,
+    min_indexes: int = 3,
+    max_indexes: int = 12,
+    max_views: int = 3,
+    base: Optional[Configuration] = None,
+    name_prefix: str = "C",
+) -> List[Configuration]:
+    """Enumerate ``k`` candidate configurations from the pool.
+
+    Each configuration draws a weighted subset of candidate indexes
+    (between ``min_indexes`` and ``max_indexes``) and, unless
+    ``index_only``, up to ``max_views`` views.  Structures in ``base``
+    are added to every configuration, so ``base`` is by construction a
+    subset of the base configuration of the result set.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    indexes = pool.indexes
+    index_weights = [pool.index_weights[ix] for ix in indexes]
+    views = pool.views
+    view_weights = [pool.view_weights[v] for v in views]
+
+    configurations: List[Configuration] = []
+    seen = set()
+    attempts = 0
+    while len(configurations) < k and attempts < 50 * k:
+        attempts += 1
+        n_ix = int(rng.integers(min_indexes, max_indexes + 1))
+        chosen_ix = _weighted_subset(indexes, index_weights, n_ix, rng)
+        chosen_views: List[MaterializedView] = []
+        if not index_only and views and max_views > 0:
+            n_v = int(rng.integers(0, max_views + 1))
+            chosen_views = _weighted_subset(views, view_weights, n_v, rng)
+        cfg = Configuration(
+            chosen_ix, chosen_views,
+            name=f"{name_prefix}{len(configurations) + 1}",
+        )
+        if base is not None:
+            cfg = base.union(
+                cfg, name=f"{name_prefix}{len(configurations) + 1}"
+            )
+        if cfg in seen:
+            continue
+        seen.add(cfg)
+        configurations.append(cfg)
+    if len(configurations) < k:
+        raise RuntimeError(
+            f"could only enumerate {len(configurations)} distinct "
+            f"configurations out of the requested {k}; the candidate "
+            f"pool (size {pool.size}) is too small"
+        )
+    return configurations

@@ -1,0 +1,188 @@
+"""Physical database configurations.
+
+A configuration is a set of indexes and materialized views assumed to
+exist when the what-if optimizer costs a query (the ``C`` in
+``Cost(q, C)``).  Configurations are hashable and order-independent so
+the optimizer can cache costs per (query, configuration) pair.
+
+The *base configuration* of a tuning session (Section 6.1 of the paper)
+contains the structures present in every candidate; costs in the base
+configuration upper-bound SELECT costs in any candidate, which is what
+the cost-bounding machinery in :mod:`repro.bounds.cost_bounds` exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from ..catalog.schema import Schema
+from .structures import Index, MaterializedView
+
+__all__ = ["Configuration", "base_configuration"]
+
+
+class Configuration:
+    """An immutable set of physical design structures.
+
+    Parameters
+    ----------
+    indexes:
+        The indexes present in this configuration.
+    views:
+        The materialized views present in this configuration.
+    name:
+        Optional label used in reports ("C1", "base", ...).
+    """
+
+    __slots__ = ("_indexes", "_views", "name", "_by_table", "_hash")
+
+    def __init__(
+        self,
+        indexes: Iterable[Index] = (),
+        views: Iterable[MaterializedView] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        self._indexes: FrozenSet[Index] = frozenset(indexes)
+        self._views: FrozenSet[MaterializedView] = frozenset(views)
+        self.name = name if name is not None else self._default_name()
+        by_table: Dict[str, List[Index]] = {}
+        for ix in sorted(self._indexes):
+            by_table.setdefault(ix.table, []).append(ix)
+        self._by_table = by_table
+        self._hash = hash((self._indexes, self._views))
+
+    def _default_name(self) -> str:
+        return f"cfg_{len(self._indexes)}ix_{len(self._views)}mv"
+
+    # ------------------------------------------------------------------
+    # contents
+    # ------------------------------------------------------------------
+    @property
+    def indexes(self) -> FrozenSet[Index]:
+        """All indexes in the configuration."""
+        return self._indexes
+
+    @property
+    def views(self) -> FrozenSet[MaterializedView]:
+        """All materialized views in the configuration."""
+        return self._views
+
+    def indexes_on(self, table: str) -> List[Index]:
+        """Indexes on ``table`` in deterministic order."""
+        return list(self._by_table.get(table, ()))
+
+    @property
+    def structure_count(self) -> int:
+        """Total number of structures (indexes + views)."""
+        return len(self._indexes) + len(self._views)
+
+    def __contains__(self, structure: object) -> bool:
+        return structure in self._indexes or structure in self._views
+
+    def __iter__(self) -> Iterator[object]:
+        yield from sorted(self._indexes)
+        yield from sorted(self._views, key=lambda v: v.name)
+
+    # ------------------------------------------------------------------
+    # set algebra (used to measure configuration overlap, Section 7)
+    # ------------------------------------------------------------------
+    def union(self, other: "Configuration", name: Optional[str] = None
+              ) -> "Configuration":
+        """Configuration containing the structures of both inputs."""
+        return Configuration(
+            self._indexes | other._indexes,
+            self._views | other._views,
+            name=name,
+        )
+
+    def intersection(self, other: "Configuration",
+                     name: Optional[str] = None) -> "Configuration":
+        """Configuration containing the shared structures."""
+        return Configuration(
+            self._indexes & other._indexes,
+            self._views & other._views,
+            name=name,
+        )
+
+    def with_structures(
+        self,
+        indexes: Iterable[Index] = (),
+        views: Iterable[MaterializedView] = (),
+        name: Optional[str] = None,
+    ) -> "Configuration":
+        """A new configuration with extra structures added."""
+        return Configuration(
+            self._indexes | frozenset(indexes),
+            self._views | frozenset(views),
+            name=name,
+        )
+
+    def overlap_fraction(self, other: "Configuration") -> float:
+        """Jaccard similarity of the two structure sets.
+
+        Section 7 distinguishes configuration pairs that "share a
+        significant number of design structures" (high covariance, where
+        Delta Sampling shines) from pairs with "little overlap".
+        """
+        mine = self._indexes | {("v", v.name) for v in self._views}
+        theirs = other._indexes | {("v", v.name) for v in other._views}
+        union = mine | theirs
+        if not union:
+            return 1.0
+        return len(mine & theirs) / len(union)
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    def storage_bytes(self, schema: Schema, page_bytes: int = 8192) -> int:
+        """Estimated storage footprint of all structures.
+
+        Views are sized pessimistically as if they retained one row per
+        row of their largest base table (refined by the optimizer's view
+        cardinality estimate where available).
+        """
+        total = sum(
+            ix.storage_bytes(schema, page_bytes) for ix in self._indexes
+        )
+        for view in self._views:
+            largest = max(
+                schema.table(t).row_count for t in view.tables
+            )
+            total += max(1, largest) * 24
+        return total
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._indexes == other._indexes and self._views == other._views
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Configuration({self.name!r}, indexes={len(self._indexes)}, "
+            f"views={len(self._views)})"
+        )
+
+
+def base_configuration(
+    configurations: Iterable[Configuration], name: str = "base"
+) -> Configuration:
+    """The base configuration of a candidate set (Section 6.1).
+
+    Contains exactly the structures present in *every* candidate; the
+    optimizer-estimated cost of a SELECT query in the base configuration
+    upper-bounds its cost in any candidate (assuming a well-behaved
+    optimizer), which is how SELECT cost intervals are derived.
+    """
+    configurations = list(configurations)
+    if not configurations:
+        return Configuration(name=name)
+    shared = configurations[0]
+    for cfg in configurations[1:]:
+        shared = shared.intersection(cfg)
+    return Configuration(shared.indexes, shared.views, name=name)

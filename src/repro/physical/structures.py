@@ -1,0 +1,159 @@
+"""Physical design structures: indexes and materialized views.
+
+These are the objects a physical design tool enumerates and a
+configuration (:mod:`repro.physical.configuration`) bundles.  The
+simulated optimizer consults them during access-path selection
+(:mod:`repro.optimizer.access_paths`) and view matching
+(:mod:`repro.optimizer.views`), and charges their maintenance cost to
+DML statements (:mod:`repro.optimizer.update_cost`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..catalog.schema import Schema
+from ..queries.ast import Aggregate, ColumnRef, JoinPredicate
+
+__all__ = ["Index", "MaterializedView", "PhysicalStructure"]
+
+
+@dataclass(frozen=True, order=True)
+class Index:
+    """A (nonclustered) B+-tree index.
+
+    Parameters
+    ----------
+    table:
+        The indexed table.
+    key_columns:
+        Ordered key columns; the leading column determines seek
+        eligibility.
+    include_columns:
+        Non-key columns carried in the leaf level; an index *covers* a
+        query's per-table column set when keys + includes contain it.
+    """
+
+    table: str
+    key_columns: Tuple[str, ...]
+    include_columns: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.key_columns:
+            raise ValueError(f"index on {self.table!r} needs key columns")
+        overlap = set(self.key_columns) & set(self.include_columns)
+        if overlap:
+            raise ValueError(
+                f"index on {self.table!r}: columns {sorted(overlap)} are "
+                "both keys and includes"
+            )
+
+    @property
+    def name(self) -> str:
+        """A deterministic human-readable name."""
+        keys = "_".join(self.key_columns)
+        if self.include_columns:
+            inc = "_".join(self.include_columns)
+            return f"ix_{self.table}_{keys}__inc_{inc}"
+        return f"ix_{self.table}_{keys}"
+
+    @property
+    def leading_column(self) -> str:
+        """The first key column (seek column)."""
+        return self.key_columns[0]
+
+    @property
+    def all_columns(self) -> Tuple[str, ...]:
+        """Keys followed by includes."""
+        return self.key_columns + self.include_columns
+
+    def covers(self, needed_columns: FrozenSet[str]) -> bool:
+        """Whether the index leaf level contains all ``needed_columns``."""
+        return needed_columns <= set(self.all_columns)
+
+    def width_bytes(self, schema: Schema) -> int:
+        """Leaf-entry width in bytes (keys + includes + row pointer)."""
+        table = schema.table(self.table)
+        width = sum(table.column(c).width for c in self.all_columns)
+        return width + 8  # row locator
+
+    def leaf_pages(self, schema: Schema, page_bytes: int = 8192) -> int:
+        """Estimated number of leaf pages."""
+        table = schema.table(self.table)
+        if table.row_count == 0:
+            return 1
+        per_page = max(1, page_bytes // max(1, self.width_bytes(schema)))
+        return max(1, -(-table.row_count // per_page))
+
+    def storage_bytes(self, schema: Schema, page_bytes: int = 8192) -> int:
+        """Estimated total storage footprint in bytes."""
+        return self.leaf_pages(schema, page_bytes) * page_bytes
+
+
+@dataclass(frozen=True)
+class MaterializedView:
+    """A join (optionally aggregated) materialized view.
+
+    The view's definition is a join of ``tables`` along
+    ``join_predicates``, optionally grouped by ``group_by`` with
+    aggregate outputs ``aggregates``.  The simulated optimizer matches a
+    view against a SELECT query when the view's tables and join edges
+    form a sub-join of the query (see :mod:`repro.optimizer.views`).
+    """
+
+    tables: Tuple[str, ...]
+    join_predicates: Tuple[JoinPredicate, ...]
+    group_by: Tuple[ColumnRef, ...] = ()
+    aggregates: Tuple[Aggregate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.tables) < 2 and not self.group_by:
+            raise ValueError(
+                "a materialized view must join >= 2 tables or aggregate"
+            )
+        known = set(self.tables)
+        for jp in self.join_predicates:
+            for t in jp.tables():
+                if t not in known:
+                    raise ValueError(
+                        f"view join predicate references {t!r} outside "
+                        f"the view tables {self.tables}"
+                    )
+        for ref in self.group_by:
+            if ref.table not in known:
+                raise ValueError(
+                    f"view group-by column {ref} references a table "
+                    f"outside the view tables {self.tables}"
+                )
+
+    @property
+    def name(self) -> str:
+        """A deterministic human-readable name."""
+        base = "mv_" + "_".join(self.tables)
+        if self.group_by:
+            base += "__g_" + "_".join(c.column for c in self.group_by)
+        return base
+
+    @property
+    def table_set(self) -> FrozenSet[str]:
+        """The set of joined tables."""
+        return frozenset(self.tables)
+
+    def join_edge_keys(self) -> FrozenSet[Tuple]:
+        """Canonical keys of the view's join edges, for subset matching."""
+        return frozenset(jp.template_part() for jp in self.join_predicates)
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.tables,
+                self.join_edge_keys(),
+                self.group_by,
+                tuple(a.template_part() for a in self.aggregates),
+            )
+        )
+
+
+#: Either kind of physical structure (for typing convenience).
+PhysicalStructure = object

@@ -1,0 +1,34 @@
+"""Query substrate: ASTs, SQL rendering, parsing and templates."""
+
+from .ast import (
+    Aggregate,
+    ColumnRef,
+    EqPredicate,
+    InPredicate,
+    JoinPredicate,
+    Predicate,
+    Query,
+    QueryType,
+    RangePredicate,
+)
+from .parser import ParseError, parse_query
+from .sqlgen import render_predicate, render_query
+from .templates import TemplateRegistry, group_by_template
+
+__all__ = [
+    "Aggregate",
+    "ColumnRef",
+    "EqPredicate",
+    "InPredicate",
+    "JoinPredicate",
+    "Predicate",
+    "Query",
+    "QueryType",
+    "RangePredicate",
+    "ParseError",
+    "parse_query",
+    "render_predicate",
+    "render_query",
+    "TemplateRegistry",
+    "group_by_template",
+]

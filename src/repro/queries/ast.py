@@ -1,0 +1,318 @@
+"""Query abstract syntax trees.
+
+The comparison primitive treats a query as an opaque unit of optimizer
+cost, but the substrates need structure: the cost model walks the join
+graph and predicate list, the candidate generator inspects referenced
+columns, and templates (Section 5 of the paper) are defined as "queries
+identical in everything but the constant bindings of their parameters".
+
+We therefore represent queries as small immutable dataclasses.  Constant
+bindings live in the predicates (:class:`EqPredicate` values,
+:class:`RangePredicate` bounds, :class:`InPredicate` lists); everything
+else is template structure.  A query can be rendered to SQL text
+(:mod:`repro.queries.sqlgen`) and parsed back
+(:mod:`repro.queries.parser`), which the SQLite-backed workload store
+relies on.
+
+Value convention
+----------------
+Column values are integers in ``[0, distinct_count)`` where value ``v``
+is the ``(v+1)``-th most frequent value of the column (see
+:mod:`repro.catalog.stats`).  This keeps constants, selectivity
+estimation and SQL rendering deterministic without materializing data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "QueryType",
+    "ColumnRef",
+    "EqPredicate",
+    "RangePredicate",
+    "InPredicate",
+    "Predicate",
+    "JoinPredicate",
+    "Aggregate",
+    "Query",
+]
+
+
+class QueryType:
+    """Enumeration of statement types, as plain string constants."""
+
+    SELECT = "SELECT"
+    UPDATE = "UPDATE"
+    INSERT = "INSERT"
+    DELETE = "DELETE"
+
+    ALL = (SELECT, UPDATE, INSERT, DELETE)
+    #: Statement types that modify data (whose cost includes index
+    #: maintenance, per footnote 1 of the paper).
+    DML = (UPDATE, INSERT, DELETE)
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A qualified column reference ``table.column``."""
+
+    table: str
+    column: str
+
+    def qualified(self) -> str:
+        """Render as ``table.column``."""
+        return f"{self.table}.{self.column}"
+
+    def __str__(self) -> str:
+        return self.qualified()
+
+
+@dataclass(frozen=True)
+class EqPredicate:
+    """Equality filter ``column = value``."""
+
+    column: ColumnRef
+    value: int
+
+    @property
+    def op(self) -> str:
+        """The SQL operator this predicate renders to."""
+        return "="
+
+    def template_part(self) -> Tuple:
+        """Structure with the constant erased, for template extraction."""
+        return ("eq", self.column.table, self.column.column)
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """Closed-range filter ``column BETWEEN lo AND hi``.
+
+    One-sided comparisons are expressed by setting the other bound to
+    the domain edge; the SQL renderer emits ``<=`` / ``>=`` forms when a
+    bound is open-ended (``lo == 0`` or ``hi`` is ``None``-like large).
+    """
+
+    column: ColumnRef
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(
+                f"range predicate on {self.column}: hi ({self.hi}) < "
+                f"lo ({self.lo})"
+            )
+
+    @property
+    def op(self) -> str:
+        """The SQL operator this predicate renders to."""
+        return "BETWEEN"
+
+    def template_part(self) -> Tuple:
+        """Structure with the constants erased."""
+        return ("range", self.column.table, self.column.column)
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """Membership filter ``column IN (v1, v2, ...)``.
+
+    The *number* of list elements is part of the constants, not the
+    template: two IN-queries with different list lengths still share a
+    template, matching how workload-collection tools parameterize IN
+    lists.
+    """
+
+    column: ColumnRef
+    values: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"empty IN list on {self.column}")
+
+    @property
+    def op(self) -> str:
+        """The SQL operator this predicate renders to."""
+        return "IN"
+
+    def template_part(self) -> Tuple:
+        """Structure with the constants erased."""
+        return ("in", self.column.table, self.column.column)
+
+
+#: Union of the filter predicate kinds.
+Predicate = Union[EqPredicate, RangePredicate, InPredicate]
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """Equi-join predicate ``left = right`` between two tables."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def __post_init__(self) -> None:
+        if self.left.table == self.right.table:
+            raise ValueError(
+                f"join predicate within a single table {self.left.table!r}"
+            )
+
+    def tables(self) -> Tuple[str, str]:
+        """The pair of joined table names."""
+        return (self.left.table, self.right.table)
+
+    def template_part(self) -> Tuple:
+        """Canonical (order-independent) structure of the join edge."""
+        a = (self.left.table, self.left.column)
+        b = (self.right.table, self.right.column)
+        lo, hi = sorted([a, b])
+        return ("join",) + lo + hi
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate expression in the SELECT list, e.g. ``SUM(t.c)``."""
+
+    func: str
+    column: Optional[ColumnRef] = None  # None => COUNT(*)
+
+    FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+    def __post_init__(self) -> None:
+        if self.func not in self.FUNCS:
+            raise ValueError(f"unknown aggregate function {self.func!r}")
+        if self.func != "COUNT" and self.column is None:
+            raise ValueError(f"{self.func} requires a column argument")
+
+    def template_part(self) -> Tuple:
+        """Structure of the aggregate, for template extraction."""
+        if self.column is None:
+            return ("agg", self.func, "*", "*")
+        return ("agg", self.func, self.column.table, self.column.column)
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable query statement.
+
+    Only the fields relevant to the statement type are populated:
+
+    * ``SELECT``: tables, join_predicates, filters, select_columns,
+      aggregates, group_by, order_by.
+    * ``UPDATE``: a single table, filters, set_columns.
+    * ``DELETE``: a single table, filters.
+    * ``INSERT``: a single table (``filters`` empty).
+    """
+
+    qtype: str
+    tables: Tuple[str, ...]
+    join_predicates: Tuple[JoinPredicate, ...] = ()
+    filters: Tuple[Predicate, ...] = ()
+    select_columns: Tuple[ColumnRef, ...] = ()
+    aggregates: Tuple[Aggregate, ...] = ()
+    group_by: Tuple[ColumnRef, ...] = ()
+    order_by: Tuple[ColumnRef, ...] = ()
+    set_columns: Tuple[ColumnRef, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.qtype not in QueryType.ALL:
+            raise ValueError(f"unknown query type {self.qtype!r}")
+        if not self.tables:
+            raise ValueError("a query must reference at least one table")
+        if self.qtype in QueryType.DML and len(self.tables) != 1:
+            raise ValueError(
+                f"{self.qtype} statements target exactly one table, "
+                f"got {self.tables}"
+            )
+        if self.qtype == QueryType.UPDATE and not self.set_columns:
+            raise ValueError("UPDATE requires at least one SET column")
+        known = set(self.tables)
+        for jp in self.join_predicates:
+            for t in jp.tables():
+                if t not in known:
+                    raise ValueError(
+                        f"join predicate references table {t!r} missing "
+                        f"from the FROM list {self.tables}"
+                    )
+        for f in self.filters:
+            if f.column.table not in known:
+                raise ValueError(
+                    f"filter references table {f.column.table!r} missing "
+                    f"from the FROM list {self.tables}"
+                )
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def target_table(self) -> str:
+        """The single table a DML statement targets."""
+        if self.qtype not in QueryType.DML:
+            raise ValueError("target_table is only defined for DML statements")
+        return self.tables[0]
+
+    def filters_on(self, table: str) -> List[Predicate]:
+        """Filter predicates applying to ``table``."""
+        return [f for f in self.filters if f.column.table == table]
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        """All column references in the query, without duplicates.
+
+        Order is deterministic: filters, joins, projections, aggregates,
+        group-by, order-by, set-columns.
+        """
+        seen = []
+        for f in self.filters:
+            seen.append(f.column)
+        for jp in self.join_predicates:
+            seen.extend([jp.left, jp.right])
+        seen.extend(self.select_columns)
+        for agg in self.aggregates:
+            if agg.column is not None:
+                seen.append(agg.column)
+        seen.extend(self.group_by)
+        seen.extend(self.order_by)
+        seen.extend(self.set_columns)
+        unique: List[ColumnRef] = []
+        marker = set()
+        for ref in seen:
+            if ref not in marker:
+                marker.add(ref)
+                unique.append(ref)
+        return unique
+
+    @property
+    def join_count(self) -> int:
+        """Number of join predicates (0 for single-table queries)."""
+        return len(self.join_predicates)
+
+    # ------------------------------------------------------------------
+    # templates
+    # ------------------------------------------------------------------
+    def template_key(self) -> Tuple:
+        """The query's template: all structure, no constant bindings.
+
+        Two queries share a template iff they are identical in
+        everything but the constants of their filter predicates
+        (Section 5 "Preprocessing").
+        """
+        return (
+            self.qtype,
+            self.tables,
+            tuple(sorted(jp.template_part() for jp in self.join_predicates)),
+            tuple(sorted(f.template_part() for f in self.filters)),
+            self.select_columns,
+            tuple(a.template_part() for a in self.aggregates),
+            self.group_by,
+            self.order_by,
+            self.set_columns,
+        )
+
+    def template_hash(self) -> str:
+        """A short stable hex digest of :meth:`template_key`."""
+        digest = hashlib.sha1(repr(self.template_key()).encode("utf-8"))
+        return digest.hexdigest()[:12]

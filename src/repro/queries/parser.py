@@ -1,0 +1,319 @@
+"""Parse dialect SQL text back to query ASTs.
+
+Inverse of :mod:`repro.queries.sqlgen`.  A hand-written tokenizer plus
+recursive-descent parser over the small dialect; raises
+:class:`ParseError` with position information on malformed input.
+
+The workload store uses this to rehydrate sampled queries from their
+text representation, mirroring the paper's preprocessing step where
+query strings live in a database table and only sampled queries are
+read back into memory.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Aggregate,
+    ColumnRef,
+    EqPredicate,
+    InPredicate,
+    JoinPredicate,
+    Predicate,
+    Query,
+    QueryType,
+    RangePredicate,
+)
+
+__all__ = ["ParseError", "parse_query"]
+
+
+class ParseError(ValueError):
+    """Raised when the input text is not valid dialect SQL."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+)"
+    r"|(?P<qualified>[A-Za-z_][A-Za-z_0-9]*\.[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<punct>[(),*=])"
+    r")"
+)
+
+_KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "BETWEEN",
+    "IN",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "DEFAULT",
+}
+
+_AGG_FUNCS = set(Aggregate.FUNCS)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    """Split ``text`` into (kind, value) tokens.
+
+    Kinds: ``number``, ``qualified`` (table.column), ``word``
+    (keyword/identifier, keywords upper-cased), ``punct``.
+    """
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        pos = match.end()
+        for kind in ("number", "qualified", "word", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                if kind == "word" and value.upper() in (
+                    _KEYWORDS | _AGG_FUNCS
+                ):
+                    value = value.upper()
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _TokenStream:
+    """Cursor over the token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Tuple[str, str]], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        self._pos += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        kind, got = self.next()
+        if got != value:
+            raise ParseError(
+                f"expected {value!r} but found {got!r} "
+                f"(token {self._pos - 1}) in {self._text!r}"
+            )
+
+    def accept(self, value: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok[1] == value:
+            self._pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+
+def _parse_column_ref(ts: _TokenStream) -> ColumnRef:
+    kind, value = ts.next()
+    if kind != "qualified":
+        raise ParseError(f"expected qualified column, found {value!r}")
+    table, column = value.split(".", 1)
+    return ColumnRef(table, column)
+
+
+def _parse_number(ts: _TokenStream) -> int:
+    kind, value = ts.next()
+    if kind != "number":
+        raise ParseError(f"expected integer constant, found {value!r}")
+    return int(value)
+
+
+def _parse_predicate(ts: _TokenStream, first: ColumnRef) -> Predicate:
+    kind, op = ts.next()
+    if op == "=":
+        return EqPredicate(first, _parse_number(ts))
+    if op == "BETWEEN":
+        lo = _parse_number(ts)
+        ts.expect("AND")
+        hi = _parse_number(ts)
+        return RangePredicate(first, lo, hi)
+    if op == "IN":
+        ts.expect("(")
+        values = [_parse_number(ts)]
+        while ts.accept(","):
+            values.append(_parse_number(ts))
+        ts.expect(")")
+        return InPredicate(first, tuple(values))
+    raise ParseError(f"expected a predicate operator, found {op!r}")
+
+
+def _parse_where(
+    ts: _TokenStream,
+) -> Tuple[Tuple[JoinPredicate, ...], Tuple[Predicate, ...]]:
+    """Parse an optional WHERE clause into join and filter predicates."""
+    joins: List[JoinPredicate] = []
+    filters: List[Predicate] = []
+    if not ts.accept("WHERE"):
+        return (), ()
+    while True:
+        left = _parse_column_ref(ts)
+        peeked = ts.peek()
+        if peeked is not None and peeked[1] == "=":
+            nxt = ts._tokens[ts._pos + 1] if ts._pos + 1 < len(
+                ts._tokens
+            ) else None
+            if nxt is not None and nxt[0] == "qualified":
+                ts.expect("=")
+                right = _parse_column_ref(ts)
+                joins.append(JoinPredicate(left, right))
+            else:
+                filters.append(_parse_predicate(ts, left))
+        else:
+            filters.append(_parse_predicate(ts, left))
+        if not ts.accept("AND"):
+            break
+    return tuple(joins), tuple(filters)
+
+
+def _parse_column_list(ts: _TokenStream) -> Tuple[ColumnRef, ...]:
+    cols = [_parse_column_ref(ts)]
+    while ts.accept(","):
+        cols.append(_parse_column_ref(ts))
+    return tuple(cols)
+
+
+def _parse_select(ts: _TokenStream) -> Query:
+    select_columns: List[ColumnRef] = []
+    aggregates: List[Aggregate] = []
+    if not ts.accept("*"):
+        while True:
+            kind, value = ts.next()
+            if kind == "word" and value in _AGG_FUNCS:
+                ts.expect("(")
+                if ts.accept("*"):
+                    aggregates.append(Aggregate(value, None))
+                else:
+                    aggregates.append(Aggregate(value, _parse_column_ref(ts)))
+                ts.expect(")")
+            elif kind == "qualified":
+                table, column = value.split(".", 1)
+                select_columns.append(ColumnRef(table, column))
+            else:
+                raise ParseError(
+                    f"expected projection item, found {value!r}"
+                )
+            if not ts.accept(","):
+                break
+    ts.expect("FROM")
+    tables = [ts.next()[1]]
+    while ts.accept(","):
+        tables.append(ts.next()[1])
+    joins, filters = _parse_where(ts)
+    group_by: Tuple[ColumnRef, ...] = ()
+    order_by: Tuple[ColumnRef, ...] = ()
+    if ts.accept("GROUP"):
+        ts.expect("BY")
+        group_by = _parse_column_list(ts)
+    if ts.accept("ORDER"):
+        ts.expect("BY")
+        order_by = _parse_column_list(ts)
+    if not ts.at_end():
+        raise ParseError(f"trailing tokens after SELECT: {ts.peek()}")
+    return Query(
+        qtype=QueryType.SELECT,
+        tables=tuple(tables),
+        join_predicates=joins,
+        filters=filters,
+        select_columns=tuple(select_columns),
+        aggregates=tuple(aggregates),
+        group_by=group_by,
+        order_by=order_by,
+    )
+
+
+def _parse_update(ts: _TokenStream) -> Query:
+    table = ts.next()[1]
+    ts.expect("SET")
+    set_columns: List[ColumnRef] = []
+    while True:
+        name = ts.next()[1]
+        ts.expect("=")
+        _parse_number(ts)  # assigned constant, always 0 in the dialect
+        set_columns.append(ColumnRef(table, name))
+        if not ts.accept(","):
+            break
+    joins, filters = _parse_where(ts)
+    if joins:
+        raise ParseError("UPDATE statements cannot contain join predicates")
+    if not ts.at_end():
+        raise ParseError(f"trailing tokens after UPDATE: {ts.peek()}")
+    return Query(
+        qtype=QueryType.UPDATE,
+        tables=(table,),
+        filters=filters,
+        set_columns=tuple(set_columns),
+    )
+
+
+def _parse_delete(ts: _TokenStream) -> Query:
+    ts.expect("FROM")
+    table = ts.next()[1]
+    joins, filters = _parse_where(ts)
+    if joins:
+        raise ParseError("DELETE statements cannot contain join predicates")
+    if not ts.at_end():
+        raise ParseError(f"trailing tokens after DELETE: {ts.peek()}")
+    return Query(qtype=QueryType.DELETE, tables=(table,), filters=filters)
+
+
+def _parse_insert(ts: _TokenStream) -> Query:
+    ts.expect("INTO")
+    table = ts.next()[1]
+    ts.expect("VALUES")
+    ts.expect("(")
+    ts.expect("DEFAULT")
+    ts.expect(")")
+    if not ts.at_end():
+        raise ParseError(f"trailing tokens after INSERT: {ts.peek()}")
+    return Query(qtype=QueryType.INSERT, tables=(table,))
+
+
+def parse_query(text: str) -> Query:
+    """Parse dialect SQL text into a :class:`~repro.queries.ast.Query`.
+
+    Raises
+    ------
+    ParseError
+        If the text is not a valid statement of the dialect.
+    """
+    ts = _TokenStream(_tokenize(text), text)
+    kind, head = ts.next()
+    if head == "SELECT":
+        return _parse_select(ts)
+    if head == "UPDATE":
+        return _parse_update(ts)
+    if head == "DELETE":
+        return _parse_delete(ts)
+    if head == "INSERT":
+        return _parse_insert(ts)
+    raise ParseError(f"unknown statement head {head!r}")

@@ -1,0 +1,114 @@
+"""Render query ASTs to SQL text.
+
+The workload store (Section 5 "Preprocessing" of the paper) keeps query
+*text* in a database table and re-parses sampled queries; this module
+and :mod:`repro.queries.parser` implement the two directions.  The
+dialect is a small, regular subset of SQL chosen so that
+``parse(render(q)) == q`` holds exactly (verified by property tests).
+
+Dialect summary::
+
+    SELECT t.a, SUM(t.b) FROM t, u WHERE t.k = u.k AND t.a = 5
+        AND t.b BETWEEN 3 AND 9 AND t.c IN (1, 2) GROUP BY t.a
+        ORDER BY t.a
+    UPDATE t SET a = 0, b = 0 WHERE t.k = 7
+    DELETE FROM t WHERE t.k BETWEEN 0 AND 4
+    INSERT INTO t VALUES (DEFAULT)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Aggregate,
+    ColumnRef,
+    EqPredicate,
+    InPredicate,
+    JoinPredicate,
+    Predicate,
+    Query,
+    QueryType,
+    RangePredicate,
+)
+
+__all__ = ["render_query", "render_predicate"]
+
+
+def _render_column(ref: ColumnRef) -> str:
+    return ref.qualified()
+
+
+def _render_aggregate(agg: Aggregate) -> str:
+    if agg.column is None:
+        return f"{agg.func}(*)"
+    return f"{agg.func}({_render_column(agg.column)})"
+
+
+def render_predicate(pred: Predicate) -> str:
+    """Render a single filter predicate."""
+    col = _render_column(pred.column)
+    if isinstance(pred, EqPredicate):
+        return f"{col} = {pred.value}"
+    if isinstance(pred, RangePredicate):
+        return f"{col} BETWEEN {pred.lo} AND {pred.hi}"
+    if isinstance(pred, InPredicate):
+        values = ", ".join(str(v) for v in pred.values)
+        return f"{col} IN ({values})"
+    raise TypeError(f"unknown predicate type {type(pred).__name__}")
+
+
+def _render_join(jp: JoinPredicate) -> str:
+    return f"{_render_column(jp.left)} = {_render_column(jp.right)}"
+
+
+def _render_where(query: Query) -> str:
+    conjuncts: List[str] = [_render_join(jp) for jp in query.join_predicates]
+    conjuncts.extend(render_predicate(f) for f in query.filters)
+    if not conjuncts:
+        return ""
+    return " WHERE " + " AND ".join(conjuncts)
+
+
+def _render_select(query: Query) -> str:
+    items: List[str] = [_render_column(c) for c in query.select_columns]
+    items.extend(_render_aggregate(a) for a in query.aggregates)
+    select_list = ", ".join(items) if items else "*"
+    sql = f"SELECT {select_list} FROM {', '.join(query.tables)}"
+    sql += _render_where(query)
+    if query.group_by:
+        sql += " GROUP BY " + ", ".join(
+            _render_column(c) for c in query.group_by
+        )
+    if query.order_by:
+        sql += " ORDER BY " + ", ".join(
+            _render_column(c) for c in query.order_by
+        )
+    return sql
+
+
+def _render_update(query: Query) -> str:
+    table = query.target_table
+    sets = ", ".join(f"{c.column} = 0" for c in query.set_columns)
+    return f"UPDATE {table} SET {sets}" + _render_where(query)
+
+
+def _render_delete(query: Query) -> str:
+    return f"DELETE FROM {query.target_table}" + _render_where(query)
+
+
+def _render_insert(query: Query) -> str:
+    return f"INSERT INTO {query.target_table} VALUES (DEFAULT)"
+
+
+def render_query(query: Query) -> str:
+    """Render a :class:`~repro.queries.ast.Query` to dialect SQL text."""
+    if query.qtype == QueryType.SELECT:
+        return _render_select(query)
+    if query.qtype == QueryType.UPDATE:
+        return _render_update(query)
+    if query.qtype == QueryType.DELETE:
+        return _render_delete(query)
+    if query.qtype == QueryType.INSERT:
+        return _render_insert(query)
+    raise ValueError(f"unknown query type {query.qtype!r}")

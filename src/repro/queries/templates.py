@@ -1,0 +1,94 @@
+"""Query templates (signatures/skeletons) and the template registry.
+
+Section 5 of the paper stratifies workloads by *template*: "two queries
+have the same template if they are identical in everything but the
+constant bindings of their parameters".  The AST layer already exposes
+:meth:`~repro.queries.ast.Query.template_key`; this module assigns
+small dense integer ids to templates, which the stratification and
+workload-store code index by.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .ast import Query
+
+__all__ = ["TemplateRegistry", "group_by_template"]
+
+
+class TemplateRegistry:
+    """Assigns dense integer ids to query templates.
+
+    Ids are assigned in first-seen order, so a registry populated from
+    the same workload in the same order is reproducible.  Optionally a
+    human-readable name can be attached to a template (the TPC-D
+    generator names templates ``Q1`` .. ``Q17``, ``U1`` .. etc.).
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[Tuple, int] = {}
+        self._names: Dict[int, str] = {}
+        self._hashes: Dict[int, str] = {}
+
+    def template_id(self, query: Query, name: Optional[str] = None) -> int:
+        """Return the template id for ``query``, registering if new.
+
+        If ``name`` is given and the template is new, the name is
+        attached; an existing template's name is never overwritten.
+        """
+        key = query.template_key()
+        tid = self._ids.get(key)
+        if tid is None:
+            tid = len(self._ids)
+            self._ids[key] = tid
+            self._hashes[tid] = query.template_hash()
+            if name is not None:
+                self._names[tid] = name
+        return tid
+
+    def lookup(self, query: Query) -> Optional[int]:
+        """Return the template id for ``query`` if registered, else ``None``."""
+        return self._ids.get(query.template_key())
+
+    def name_of(self, template_id: int) -> str:
+        """Human-readable name of a template (falls back to ``T<id>``)."""
+        return self._names.get(template_id, f"T{template_id}")
+
+    def hash_of(self, template_id: int) -> str:
+        """The stable hex digest recorded for a template id."""
+        try:
+            return self._hashes[template_id]
+        except KeyError:
+            raise KeyError(f"unknown template id {template_id}") from None
+
+    def set_name(self, template_id: int, name: str) -> None:
+        """Attach or replace the human-readable name of a template."""
+        if template_id not in self._hashes:
+            raise KeyError(f"unknown template id {template_id}")
+        self._names[template_id] = name
+
+    @property
+    def count(self) -> int:
+        """Number of distinct templates registered."""
+        return len(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+def group_by_template(
+    queries: Iterable[Query], registry: Optional[TemplateRegistry] = None
+) -> Dict[int, List[int]]:
+    """Group query positions by template id.
+
+    Returns a mapping ``template_id -> [indices of queries]`` where the
+    indices refer to the iteration order of ``queries``.  A fresh
+    registry is created when none is supplied.
+    """
+    registry = registry if registry is not None else TemplateRegistry()
+    groups: Dict[int, List[int]] = {}
+    for idx, query in enumerate(queries):
+        tid = registry.template_id(query)
+        groups.setdefault(tid, []).append(idx)
+    return groups

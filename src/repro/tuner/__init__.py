@@ -1,0 +1,11 @@
+"""Greedy physical design tuner and quality evaluation (for §7.3)."""
+
+from .evaluation import QualityReport, evaluate_configuration
+from .greedy import GreedyTuner, TuningResult
+
+__all__ = [
+    "QualityReport",
+    "evaluate_configuration",
+    "GreedyTuner",
+    "TuningResult",
+]

@@ -1,0 +1,69 @@
+"""Evaluating tuning quality on the full workload.
+
+A recommendation is only as good as its effect on the *entire*
+workload: §7.3 measures "the improvement (over the entire workload)
+resulting from tuning" a compressed workload versus equal-size samples.
+This module centralizes that measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..physical.configuration import Configuration
+
+__all__ = ["QualityReport", "evaluate_configuration"]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Full-workload quality of a recommended configuration.
+
+    Attributes
+    ----------
+    baseline_cost:
+        ``Cost(WL, initial)`` over the full workload.
+    tuned_cost:
+        ``Cost(WL, recommended)`` over the full workload.
+    improvement:
+        Relative improvement ``1 - tuned/baseline`` (clamped at 0).
+    """
+
+    baseline_cost: float
+    tuned_cost: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative full-workload improvement in [0, 1]."""
+        if self.baseline_cost <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.tuned_cost / self.baseline_cost)
+
+
+def evaluate_configuration(
+    workload,
+    optimizer,
+    recommended: Configuration,
+    initial: Optional[Configuration] = None,
+) -> QualityReport:
+    """Measure a recommendation against the full workload.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`repro.workload.workload.Workload`.
+    optimizer:
+        A :class:`repro.optimizer.whatif.WhatIfOptimizer`.
+    recommended:
+        The configuration to evaluate.
+    initial:
+        The baseline (defaults to empty).
+    """
+    baseline = initial if initial is not None else Configuration(
+        name="initial"
+    )
+    return QualityReport(
+        baseline_cost=workload.total_cost(optimizer, baseline),
+        tuned_cost=workload.total_cost(optimizer, recommended),
+    )

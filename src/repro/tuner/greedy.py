@@ -1,0 +1,206 @@
+"""A greedy cost/benefit physical design tuner.
+
+The §7.3 experiments compare *tuning quality* when a tuner runs on a
+full workload, a compressed workload, or a random/Delta sample.  This
+module provides the tuner: the classic greedy loop used (in more
+elaborate forms) by commercial tools [1, 7, 20]:
+
+1. build a candidate pool from per-query optimizer suggestions;
+2. repeatedly add the structure with the best marginal benefit per
+   storage byte on the (weighted) training workload;
+3. stop when the storage budget is exhausted or no structure helps.
+
+The tuner is deliberately simple — the paper's contribution is the
+comparison primitive, not the search — but it is a real search over
+real what-if costs, so compression-induced blind spots (e.g. templates
+missing from a [20]-compressed workload) translate into genuinely
+missing design structures, which is the effect §7.3 demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..physical.candidates import CandidatePool, build_pool
+from ..physical.configuration import Configuration
+from ..physical.structures import Index, MaterializedView
+
+__all__ = ["TuningResult", "GreedyTuner"]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a tuning run.
+
+    Attributes
+    ----------
+    configuration:
+        The recommended configuration.
+    training_cost:
+        Weighted training-workload cost under the recommendation.
+    initial_cost:
+        Weighted training-workload cost under the starting
+        configuration.
+    chosen:
+        Structures in the order they were added.
+    optimizer_calls:
+        What-if calls the search spent.
+    """
+
+    configuration: Configuration
+    training_cost: float
+    initial_cost: float
+    chosen: List[object] = field(default_factory=list)
+    optimizer_calls: int = 0
+
+    @property
+    def improvement(self) -> float:
+        """Relative training-cost improvement in [0, 1]."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.training_cost / self.initial_cost)
+
+
+class GreedyTuner:
+    """Greedy benefit-per-byte physical design search.
+
+    Parameters
+    ----------
+    optimizer:
+        A :class:`repro.optimizer.whatif.WhatIfOptimizer`.
+    storage_budget_bytes:
+        Upper bound on the combined storage of recommended structures
+        (``None`` = unlimited).
+    max_structures:
+        Upper bound on the number of recommended structures.
+    include_views:
+        Whether materialized views enter the candidate pool.
+    """
+
+    def __init__(
+        self,
+        optimizer,
+        storage_budget_bytes: Optional[int] = None,
+        max_structures: int = 10,
+        include_views: bool = True,
+    ) -> None:
+        self.optimizer = optimizer
+        self.storage_budget_bytes = storage_budget_bytes
+        self.max_structures = max_structures
+        self.include_views = include_views
+
+    # ------------------------------------------------------------------
+    def _weighted_cost(
+        self,
+        queries: Sequence,
+        weights: np.ndarray,
+        config: Configuration,
+    ) -> float:
+        return float(
+            sum(
+                w * self.optimizer.cost(q, config)
+                for q, w in zip(queries, weights)
+            )
+        )
+
+    def _structure_storage(self, structure) -> int:
+        schema = self.optimizer.schema
+        if isinstance(structure, Index):
+            return structure.storage_bytes(schema)
+        # Views: reuse the configuration-level pessimistic sizing.
+        return Configuration([], [structure]).storage_bytes(schema)
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        queries: Sequence,
+        weights: Optional[np.ndarray] = None,
+        initial: Optional[Configuration] = None,
+        pool: Optional[CandidatePool] = None,
+    ) -> TuningResult:
+        """Recommend a configuration for the (weighted) training queries.
+
+        Parameters
+        ----------
+        queries:
+            Training statements (full, compressed or sampled workload).
+        weights:
+            Per-query weights (defaults to 1.0 each).
+        initial:
+            Starting configuration (defaults to empty).
+        pool:
+            Pre-built candidate pool; built from ``queries`` when
+            omitted.
+        """
+        queries = list(queries)
+        if not queries:
+            raise ValueError("cannot tune an empty workload")
+        if weights is None:
+            weights = np.ones(len(queries))
+        weights = np.asarray(weights, dtype=np.float64)
+        if len(weights) != len(queries):
+            raise ValueError(
+                f"{len(weights)} weights for {len(queries)} queries"
+            )
+        start_calls = self.optimizer.calls
+        current = initial if initial is not None else Configuration(
+            name="initial"
+        )
+        if pool is None:
+            pool = build_pool(
+                queries, self.optimizer, include_views=self.include_views
+            )
+        candidates: List[object] = list(pool.indexes)
+        if self.include_views:
+            candidates.extend(pool.views)
+
+        initial_cost = self._weighted_cost(queries, weights, current)
+        current_cost = initial_cost
+        used_bytes = current.storage_bytes(self.optimizer.schema)
+        chosen: List[object] = []
+
+        while len(chosen) < self.max_structures and candidates:
+            best_structure = None
+            best_cost = current_cost
+            best_score = 0.0
+            for structure in candidates:
+                size = self._structure_storage(structure)
+                if (
+                    self.storage_budget_bytes is not None
+                    and used_bytes + size > self.storage_budget_bytes
+                ):
+                    continue
+                if isinstance(structure, Index):
+                    trial = current.with_structures(indexes=[structure])
+                else:
+                    trial = current.with_structures(views=[structure])
+                cost = self._weighted_cost(queries, weights, trial)
+                benefit = current_cost - cost
+                score = benefit / max(1, size)
+                if benefit > 0 and score > best_score:
+                    best_score = score
+                    best_structure = structure
+                    best_cost = cost
+            if best_structure is None:
+                break
+            if isinstance(best_structure, Index):
+                current = current.with_structures(indexes=[best_structure])
+            else:
+                current = current.with_structures(views=[best_structure])
+            used_bytes += self._structure_storage(best_structure)
+            current_cost = best_cost
+            chosen.append(best_structure)
+            candidates = [c for c in candidates if c != best_structure]
+
+        return TuningResult(
+            configuration=Configuration(
+                current.indexes, current.views, name="tuned"
+            ),
+            training_cost=current_cost,
+            initial_cost=initial_cost,
+            chosen=chosen,
+            optimizer_calls=self.optimizer.calls - start_calls,
+        )

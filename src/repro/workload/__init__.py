@@ -1,0 +1,39 @@
+"""Workload substrate: containers, storage, and the two evaluation workloads."""
+
+from .drift import DriftReport, drifting_workload, ranking_stability, \
+    window_totals
+from .crm import crm_generator, crm_schema, crm_templates, \
+    generate_crm_workload
+from .generator import FilterSlot, QueryTemplate, WorkloadGenerator
+from .profile import TemplateProfile, WorkloadProfile, profile_workload
+from .store import WorkloadStore
+from .tpcd import (
+    generate_tpcd_workload,
+    tpcd_generator,
+    tpcd_schema,
+    tpcd_templates,
+)
+from .workload import Workload
+
+__all__ = [
+    "DriftReport",
+    "drifting_workload",
+    "ranking_stability",
+    "window_totals",
+    "crm_generator",
+    "crm_schema",
+    "crm_templates",
+    "generate_crm_workload",
+    "FilterSlot",
+    "QueryTemplate",
+    "WorkloadGenerator",
+    "TemplateProfile",
+    "WorkloadProfile",
+    "profile_workload",
+    "WorkloadStore",
+    "generate_tpcd_workload",
+    "tpcd_generator",
+    "tpcd_schema",
+    "tpcd_templates",
+    "Workload",
+]

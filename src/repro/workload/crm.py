@@ -1,0 +1,358 @@
+"""Synthetic CRM database and trace-like workload generator.
+
+Models the paper's real-life evaluation database (Section 7): "a
+database running a CRM application with over 500 tables", whose traced
+workload "contains about 6K queries, inserts, updates and deletes" over
+"a relatively large number of distinct templates (> 120)".
+
+The schema has a core of CRM entities (accounts, contacts, orders, ...)
+connected by foreign keys, padded with several hundred auxiliary lookup
+and detail tables, as enterprise CRM schemas are.  The template set is
+generated programmatically from a seed: point selects, range scans,
+parent-child joins, three-way joins and reports over core entities,
+plus UPDATE/INSERT/DELETE templates — comfortably more than 120
+distinct templates.  Template frequencies follow a Zipf distribution so
+a few templates dominate the trace while many appear only rarely, which
+is the property that limits progressive stratification on this workload
+(Section 7.1: "we rarely have estimates of the avg. cost of *all*
+templates").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..catalog.schema import Column, ColumnType, ForeignKey, Schema, Table
+from ..catalog.zipf import zipf_pmf
+from ..queries.ast import Aggregate, ColumnRef, JoinPredicate, QueryType
+from .generator import FilterSlot, QueryTemplate, WorkloadGenerator
+from .workload import Workload
+
+__all__ = [
+    "crm_schema",
+    "crm_templates",
+    "crm_generator",
+    "generate_crm_workload",
+]
+
+#: (name, row_count) of the core CRM entities.
+_CORE_TABLES: Tuple[Tuple[str, int], ...] = (
+    ("account", 40_000),
+    ("contact", 120_000),
+    ("activity", 400_000),
+    ("opportunity", 60_000),
+    ("case_record", 90_000),
+    ("lead", 70_000),
+    ("campaign", 2_000),
+    ("sales_order", 150_000),
+    ("order_line", 450_000),
+    ("product", 8_000),
+    ("invoice", 140_000),
+    ("payment", 130_000),
+    ("ticket", 80_000),
+    ("note", 300_000),
+    ("app_user", 3_000),
+)
+
+#: (child, child_fk_column, parent) edges among core tables.
+_CORE_FKS: Tuple[Tuple[str, str, str], ...] = (
+    ("contact", "account_id", "account"),
+    ("activity", "contact_id", "contact"),
+    ("activity", "owner_id", "app_user"),
+    ("opportunity", "account_id", "account"),
+    ("case_record", "contact_id", "contact"),
+    ("lead", "campaign_id", "campaign"),
+    ("sales_order", "account_id", "account"),
+    ("order_line", "order_id", "sales_order"),
+    ("order_line", "product_id", "product"),
+    ("invoice", "order_id", "sales_order"),
+    ("payment", "invoice_id", "invoice"),
+    ("ticket", "case_id", "case_record"),
+    ("note", "contact_id", "contact"),
+)
+
+
+def _id_column_of(table: str) -> str:
+    return f"{table}_id"
+
+
+def _add_core_table(
+    schema: Schema, name: str, rows: int, rng: np.random.Generator
+) -> None:
+    table = schema.add_table(Table(name, rows))
+    table.add_column(Column(_id_column_of(name), distinct_count=rows))
+    # status / category style columns: small domains, heavy skew.
+    table.add_column(
+        Column("status", ColumnType.STRING,
+               distinct_count=int(rng.integers(3, 9)), zipf_theta=1.0)
+    )
+    table.add_column(
+        Column("category", ColumnType.STRING,
+               distinct_count=int(rng.integers(5, 30)), zipf_theta=1.0)
+    )
+    # timestamps and measures.
+    table.add_column(
+        Column("created_on", ColumnType.DATE,
+               distinct_count=int(rng.integers(700, 2000)))
+    )
+    table.add_column(
+        Column("amount", ColumnType.FLOAT,
+               distinct_count=int(rng.integers(2_000, 20_000)),
+               zipf_theta=0.5)
+    )
+    table.add_column(
+        Column("region", ColumnType.STRING,
+               distinct_count=int(rng.integers(4, 12)), zipf_theta=1.0)
+    )
+
+
+def crm_schema(
+    seed: int = 7, aux_tables: int = 490, scale: float = 1.0
+) -> Schema:
+    """Build the CRM schema: core entities plus auxiliary tables.
+
+    ``aux_tables`` pads the schema beyond 500 tables; ``scale``
+    multiplies all row counts (1.0 corresponds to the paper's ~0.7 GB
+    database).
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    rng = np.random.default_rng(seed)
+    schema = Schema(f"crm_seed{seed}")
+
+    for name, rows in _CORE_TABLES:
+        _add_core_table(schema, name, max(1, int(rows * scale)), rng)
+
+    # FK columns: distinct counts match the parent's key domain, with
+    # skew so popular parents own most child rows.
+    for child, fk_col, parent in _CORE_FKS:
+        parent_rows = schema.table(parent).row_count
+        schema.table(child).add_column(
+            Column(fk_col, distinct_count=parent_rows, zipf_theta=1.0)
+        )
+        schema.add_foreign_key(
+            ForeignKey(child, fk_col, parent, _id_column_of(parent))
+        )
+
+    core_names = [name for name, _ in _CORE_TABLES]
+    for i in range(aux_tables):
+        name = f"aux_{i:03d}"
+        rows = max(10, int(rng.integers(50, 5_000) * scale))
+        table = schema.add_table(Table(name, rows))
+        table.add_column(Column(f"{name}_id", distinct_count=rows))
+        table.add_column(
+            Column("code", ColumnType.STRING,
+                   distinct_count=max(2, rows // 10), zipf_theta=1.0)
+        )
+        table.add_column(
+            Column("label", ColumnType.STRING,
+                   distinct_count=max(2, rows // 2))
+        )
+        # Roughly a third of auxiliary tables reference a core entity.
+        if i % 3 == 0:
+            parent = core_names[int(rng.integers(0, len(core_names)))]
+            parent_rows = schema.table(parent).row_count
+            table.add_column(
+                Column("ref_id", distinct_count=parent_rows, zipf_theta=1.0)
+            )
+            schema.add_foreign_key(
+                ForeignKey(name, "ref_id", parent, _id_column_of(parent))
+            )
+    return schema
+
+
+def _point_select(schema: Schema, table: str, idx: int) -> QueryTemplate:
+    id_col = ColumnRef(table, _id_column_of(table))
+    return QueryTemplate(
+        name=f"crm_point_{table}_{idx}",
+        qtype=QueryType.SELECT,
+        tables=(table,),
+        slots=(FilterSlot(id_col, "eq"),),
+        select_columns=(id_col, ColumnRef(table, "status"),
+                        ColumnRef(table, "amount")),
+    )
+
+
+def _range_report(schema: Schema, table: str, idx: int) -> QueryTemplate:
+    return QueryTemplate(
+        name=f"crm_report_{table}_{idx}",
+        qtype=QueryType.SELECT,
+        tables=(table,),
+        slots=(FilterSlot(ColumnRef(table, "created_on"), "range",
+                          min_frac=0.01, max_frac=0.3),
+               FilterSlot(ColumnRef(table, "status"), "eq")),
+        group_by=(ColumnRef(table, "category"),),
+        aggregates=(Aggregate("SUM", ColumnRef(table, "amount")),
+                    Aggregate("COUNT", None)),
+    )
+
+
+def _join_template(
+    schema: Schema, child: str, fk_col: str, parent: str, idx: int
+) -> QueryTemplate:
+    jp = JoinPredicate(
+        ColumnRef(child, fk_col), ColumnRef(parent, _id_column_of(parent))
+    )
+    return QueryTemplate(
+        name=f"crm_join_{child}_{parent}_{idx}",
+        qtype=QueryType.SELECT,
+        tables=(child, parent),
+        join_predicates=(jp,),
+        slots=(FilterSlot(ColumnRef(parent, "status"), "eq"),
+               FilterSlot(ColumnRef(child, "created_on"), "range",
+                          min_frac=0.02, max_frac=0.25)),
+        select_columns=(ColumnRef(child, "amount"),
+                        ColumnRef(parent, "category")),
+    )
+
+
+def _three_way(
+    schema: Schema,
+    a: str, a_fk: str, b: str, b_fk: str, c: str, idx: int,
+) -> QueryTemplate:
+    """a joins b via a_fk, b joins c via b_fk."""
+    jp1 = JoinPredicate(ColumnRef(a, a_fk), ColumnRef(b, _id_column_of(b)))
+    jp2 = JoinPredicate(ColumnRef(b, b_fk), ColumnRef(c, _id_column_of(c)))
+    return QueryTemplate(
+        name=f"crm_3way_{a}_{b}_{c}_{idx}",
+        qtype=QueryType.SELECT,
+        tables=(a, b, c),
+        join_predicates=(jp1, jp2),
+        slots=(FilterSlot(ColumnRef(c, "region"), "eq"),
+               FilterSlot(ColumnRef(a, "created_on"), "range",
+                          min_frac=0.05, max_frac=0.3)),
+        group_by=(ColumnRef(c, "region"),),
+        aggregates=(Aggregate("SUM", ColumnRef(a, "amount")),),
+    )
+
+
+def _update_template(schema: Schema, table: str, idx: int,
+                     by_id: bool) -> QueryTemplate:
+    if by_id:
+        slots = (FilterSlot(ColumnRef(table, _id_column_of(table)), "eq"),)
+    else:
+        slots = (FilterSlot(ColumnRef(table, "created_on"), "range",
+                            min_frac=0.001, max_frac=0.01),)
+    return QueryTemplate(
+        name=f"crm_update_{table}_{idx}",
+        qtype=QueryType.UPDATE,
+        tables=(table,),
+        slots=slots,
+        set_columns=(ColumnRef(table, "status"),
+                     ColumnRef(table, "amount")),
+    )
+
+
+def _insert_template(schema: Schema, table: str, idx: int) -> QueryTemplate:
+    return QueryTemplate(
+        name=f"crm_insert_{table}_{idx}",
+        qtype=QueryType.INSERT,
+        tables=(table,),
+    )
+
+
+def _delete_template(schema: Schema, table: str, idx: int) -> QueryTemplate:
+    return QueryTemplate(
+        name=f"crm_delete_{table}_{idx}",
+        qtype=QueryType.DELETE,
+        tables=(table,),
+        slots=(FilterSlot(ColumnRef(table, _id_column_of(table)), "eq"),),
+    )
+
+
+def crm_templates(schema: Schema, seed: int = 11) -> List[QueryTemplate]:
+    """Generate the CRM template set (> 120 distinct templates)."""
+    rng = np.random.default_rng(seed)
+    templates: List[QueryTemplate] = []
+    core = [name for name, _ in _CORE_TABLES]
+
+    # Per-core-table basics: point select, report, update, insert, delete.
+    for i, table in enumerate(core):
+        templates.append(_point_select(schema, table, i))
+        templates.append(_range_report(schema, table, i))
+        templates.append(_update_template(schema, table, i, by_id=True))
+        templates.append(_insert_template(schema, table, i))
+        if i % 2 == 0:
+            templates.append(_delete_template(schema, table, i))
+        if i % 3 == 0:
+            templates.append(
+                _update_template(schema, table, 100 + i, by_id=False)
+            )
+
+    # Parent-child joins along every core FK (two variants each).
+    for i, (child, fk_col, parent) in enumerate(_CORE_FKS):
+        templates.append(_join_template(schema, child, fk_col, parent, i))
+        jp = JoinPredicate(
+            ColumnRef(child, fk_col),
+            ColumnRef(parent, _id_column_of(parent)),
+        )
+        templates.append(QueryTemplate(
+            name=f"crm_lookup_{child}_{parent}_{i}",
+            qtype=QueryType.SELECT,
+            tables=(child, parent),
+            join_predicates=(jp,),
+            slots=(FilterSlot(
+                ColumnRef(parent, _id_column_of(parent)), "eq"),),
+            select_columns=(ColumnRef(child, "amount"),
+                            ColumnRef(child, "status")),
+        ))
+
+    # Three-way chains through the FK graph.
+    chains = (
+        ("activity", "contact_id", "contact", "account_id", "account"),
+        ("order_line", "order_id", "sales_order", "account_id", "account"),
+        ("payment", "invoice_id", "invoice", "order_id", "sales_order"),
+        ("ticket", "case_id", "case_record", "contact_id", "contact"),
+        ("note", "contact_id", "contact", "account_id", "account"),
+    )
+    for i, (a, a_fk, b, b_fk, c) in enumerate(chains):
+        templates.append(_three_way(schema, a, a_fk, b, b_fk, c, i))
+
+    # Auxiliary-table lookups: enough variety to exceed 120 templates.
+    aux_with_ref = [
+        fk.child_table
+        for fk in schema.foreign_keys
+        if fk.child_table.startswith("aux_")
+    ]
+    for i, aux in enumerate(aux_with_ref[:40]):
+        templates.append(QueryTemplate(
+            name=f"crm_aux_scan_{aux}",
+            qtype=QueryType.SELECT,
+            tables=(aux,),
+            slots=(FilterSlot(ColumnRef(aux, "code"), "eq"),),
+            select_columns=(ColumnRef(aux, "label"),),
+        ))
+    return templates
+
+
+def crm_generator(
+    schema: Optional[Schema] = None,
+    template_seed: int = 11,
+    frequency_theta: float = 1.0,
+) -> WorkloadGenerator:
+    """A trace-like generator over the CRM schema.
+
+    Template frequencies follow ``Zipf(frequency_theta)`` over a
+    shuffled template order, so the dominant templates are a stable but
+    arbitrary mix of statement kinds.
+    """
+    schema = schema if schema is not None else crm_schema()
+    templates = crm_templates(schema, seed=template_seed)
+    rng = np.random.default_rng(template_seed)
+    order = rng.permutation(len(templates))
+    weights = np.empty(len(templates))
+    weights[order] = zipf_pmf(len(templates), frequency_theta)
+    return WorkloadGenerator(schema, templates, weights=weights)
+
+
+def generate_crm_workload(
+    n: int,
+    seed: int = 0,
+    schema: Optional[Schema] = None,
+) -> Workload:
+    """Generate an ``n``-statement CRM trace with a fixed seed."""
+    generator = crm_generator(schema=schema)
+    rng = np.random.default_rng(seed)
+    return generator.generate(n, rng)

@@ -1,0 +1,166 @@
+"""Workload drift: traces whose template mix changes over time.
+
+The paper's problem statement assumes a *representative* workload —
+"typically obtained by tracing the queries that execute against a
+production system over a representative period of time" (§1).  In
+production, the template mix drifts (end-of-month reporting, new
+application releases), and a configuration chosen on a stale trace can
+be wrong for tomorrow's mix.
+
+This module makes that concern testable:
+
+* :func:`drifting_workload` generates a trace whose template
+  frequencies interpolate between two mixes across the trace;
+* :func:`window_totals` evaluates configuration costs per window so
+  the drift's effect on the *ranking* of configurations is observable;
+* :func:`ranking_stability` quantifies how far into the trace the
+  head-of-trace choice stays optimal.
+
+Together they support the operational question behind §1: how long is
+a trace "representative", and when must the comparison re-run?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .generator import WorkloadGenerator
+from .workload import Workload
+
+__all__ = [
+    "drifting_workload",
+    "window_totals",
+    "ranking_stability",
+    "DriftReport",
+]
+
+
+def drifting_workload(
+    generator: WorkloadGenerator,
+    n: int,
+    start_weights: Sequence[float],
+    end_weights: Sequence[float],
+    rng: np.random.Generator,
+) -> Workload:
+    """Generate a trace whose template mix drifts linearly.
+
+    Statement ``i`` draws its template from the convex combination
+    ``(1 - i/n) * start + (i/n) * end`` of the two weight vectors.
+
+    Parameters
+    ----------
+    generator:
+        A :class:`~repro.workload.generator.WorkloadGenerator`; its own
+        configured weights are ignored in favour of the drift pair.
+    start_weights / end_weights:
+        Relative template frequencies at the head and tail of the
+        trace; lengths must match the generator's template count.
+    """
+    templates = generator.templates
+    k = len(templates)
+    start = np.asarray(start_weights, dtype=np.float64)
+    end = np.asarray(end_weights, dtype=np.float64)
+    if start.shape != (k,) or end.shape != (k,):
+        raise ValueError(
+            f"weight vectors must have length {k} "
+            f"(got {start.shape} and {end.shape})"
+        )
+    if (start < 0).any() or (end < 0).any():
+        raise ValueError("weights must be non-negative")
+    if start.sum() <= 0 or end.sum() <= 0:
+        raise ValueError("weight vectors must have positive mass")
+    if n < 1:
+        raise ValueError(f"trace length must be >= 1, got {n}")
+
+    start = start / start.sum()
+    end = end / end.sum()
+    queries = []
+    names = []
+    for i in range(n):
+        frac = i / max(1, n - 1)
+        probs = (1.0 - frac) * start + frac * end
+        probs = probs / probs.sum()
+        t_idx = int(rng.choice(k, p=probs))
+        template = templates[t_idx]
+        queries.append(generator.instantiate(template, rng))
+        names.append(template.name)
+    return Workload(queries, template_names=names)
+
+
+def window_totals(
+    workload: Workload,
+    optimizer,
+    configurations: Sequence,
+    windows: int = 5,
+) -> np.ndarray:
+    """Per-window configuration costs over the trace.
+
+    Splits the trace into ``windows`` contiguous slices (trace order =
+    time order) and returns an array of shape ``(windows, k)`` with
+    ``Cost(window_w, C_c)``.
+    """
+    if windows < 1:
+        raise ValueError(f"windows must be >= 1, got {windows}")
+    n = workload.size
+    bounds = np.linspace(0, n, windows + 1).astype(int)
+    out = np.zeros((windows, len(configurations)))
+    for w in range(windows):
+        lo, hi = bounds[w], bounds[w + 1]
+        for c, config in enumerate(configurations):
+            out[w, c] = sum(
+                optimizer.cost(workload[i], config)
+                for i in range(lo, hi)
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """How long the head-of-trace winner stays the right choice."""
+
+    head_choice: int
+    per_window_best: Tuple[int, ...]
+    stable_windows: int
+    final_regret: float
+
+    @property
+    def drifted(self) -> bool:
+        """Whether the head-of-trace choice stops being optimal."""
+        return self.stable_windows < len(self.per_window_best)
+
+
+def ranking_stability(window_costs: np.ndarray) -> DriftReport:
+    """Analyze per-window costs for choice stability.
+
+    ``window_costs`` is the ``(windows, k)`` array from
+    :func:`window_totals`.  The head choice is the winner of the first
+    window; ``stable_windows`` counts the prefix of windows where it
+    stays the winner, and ``final_regret`` is its relative excess cost
+    in the last window.
+    """
+    window_costs = np.asarray(window_costs, dtype=np.float64)
+    if window_costs.ndim != 2 or window_costs.shape[0] < 1:
+        raise ValueError("window_costs must be a (windows, k) array")
+    per_window_best = tuple(
+        int(np.argmin(window_costs[w]))
+        for w in range(window_costs.shape[0])
+    )
+    head = per_window_best[0]
+    stable = 0
+    for best in per_window_best:
+        if best != head:
+            break
+        stable += 1
+    last = window_costs[-1]
+    final_regret = float(
+        (last[head] - last.min()) / last.min() if last.min() > 0 else 0.0
+    )
+    return DriftReport(
+        head_choice=head,
+        per_window_best=per_window_best,
+        stable_windows=stable,
+        final_regret=final_regret,
+    )

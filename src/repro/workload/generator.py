@@ -1,0 +1,219 @@
+"""Template-driven workload generation.
+
+Both synthetic databases of the paper's evaluation (the TPC-D database
+with QGEN workloads and the CRM database with traced workloads) produce
+queries the same way: a fixed set of query *templates*, instantiated
+with random constant bindings.  This module provides the shared
+machinery: a declarative :class:`QueryTemplate` (structure plus
+:class:`FilterSlot` placeholders) and a :class:`WorkloadGenerator` that
+draws templates according to a frequency distribution and binds their
+constants from the column value distributions.
+
+Constants are drawn from each column's *actual* value distribution
+(frequent values are queried more often), which — combined with Zipf
+skew — yields per-template cost distributions spanning orders of
+magnitude, the regime Section 6 of the paper worries about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..catalog.schema import Column, Schema
+from ..catalog.zipf import zipf_pmf
+from ..queries.ast import (
+    Aggregate,
+    ColumnRef,
+    EqPredicate,
+    InPredicate,
+    JoinPredicate,
+    Predicate,
+    Query,
+    QueryType,
+    RangePredicate,
+)
+from .workload import Workload
+
+__all__ = ["FilterSlot", "QueryTemplate", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class FilterSlot:
+    """A parameterized filter position within a template.
+
+    Parameters
+    ----------
+    column:
+        The filtered column.
+    kind:
+        ``"eq"``, ``"range"`` or ``"in"``.
+    min_frac / max_frac:
+        For range slots: the window width as a fraction of the value
+        domain is drawn log-uniformly from ``[min_frac, max_frac]``.
+    in_min / in_max:
+        For IN slots: bounds on the list length.
+    """
+
+    column: ColumnRef
+    kind: str = "eq"
+    min_frac: float = 0.001
+    max_frac: float = 0.3
+    in_min: int = 2
+    in_max: int = 6
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("eq", "range", "in"):
+            raise ValueError(f"unknown filter slot kind {self.kind!r}")
+        if not (0 < self.min_frac <= self.max_frac <= 1):
+            raise ValueError(
+                f"invalid range fractions [{self.min_frac}, {self.max_frac}]"
+            )
+        if not (1 <= self.in_min <= self.in_max):
+            raise ValueError(
+                f"invalid IN-list bounds [{self.in_min}, {self.in_max}]"
+            )
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A query shape with unbound constants.
+
+    All structural fields mirror :class:`~repro.queries.ast.Query`;
+    ``slots`` are the parameter positions.  ``name`` labels the
+    template in reports (``"Q6"``, ``"crm_point_select_17"``, ...).
+    """
+
+    name: str
+    qtype: str
+    tables: Tuple[str, ...]
+    join_predicates: Tuple[JoinPredicate, ...] = ()
+    slots: Tuple[FilterSlot, ...] = ()
+    select_columns: Tuple[ColumnRef, ...] = ()
+    aggregates: Tuple[Aggregate, ...] = ()
+    group_by: Tuple[ColumnRef, ...] = ()
+    order_by: Tuple[ColumnRef, ...] = ()
+    set_columns: Tuple[ColumnRef, ...] = ()
+
+
+class WorkloadGenerator:
+    """Draws queries from templates with random constant bindings.
+
+    Parameters
+    ----------
+    schema:
+        The schema the templates reference (validated on first use of
+        each column).
+    templates:
+        The template set.
+    weights:
+        Relative template frequencies; uniform when omitted.  The CRM
+        generator passes Zipf-distributed weights so that a few
+        templates dominate the trace, as in production systems.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        templates: Sequence[QueryTemplate],
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not templates:
+            raise ValueError("need at least one template")
+        self.schema = schema
+        self.templates = list(templates)
+        if weights is None:
+            weights = [1.0] * len(self.templates)
+        if len(weights) != len(self.templates):
+            raise ValueError(
+                f"{len(weights)} weights for {len(self.templates)} templates"
+            )
+        w = np.asarray(weights, dtype=np.float64)
+        if (w < 0).any() or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        self._probs = w / w.sum()
+        self._pmf_cache: Dict[Tuple[str, str], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # constant binding
+    # ------------------------------------------------------------------
+    def _column(self, ref: ColumnRef) -> Column:
+        return self.schema.column(ref.table, ref.column)
+
+    def _sample_value(self, ref: ColumnRef, rng: np.random.Generator) -> int:
+        """Sample a value according to the column's value distribution."""
+        col = self._column(ref)
+        if col.zipf_theta == 0.0:
+            return int(rng.integers(0, col.distinct_count))
+        key = (ref.table, ref.column)
+        pmf = self._pmf_cache.get(key)
+        if pmf is None:
+            pmf = zipf_pmf(col.distinct_count, col.zipf_theta)
+            self._pmf_cache[key] = pmf
+        return int(rng.choice(col.distinct_count, p=pmf))
+
+    def _bind_slot(
+        self, slot: FilterSlot, rng: np.random.Generator
+    ) -> Predicate:
+        col = self._column(slot.column)
+        domain = col.distinct_count
+        if slot.kind == "eq":
+            return EqPredicate(slot.column, self._sample_value(
+                slot.column, rng
+            ))
+        if slot.kind == "range":
+            log_lo = np.log(slot.min_frac)
+            log_hi = np.log(slot.max_frac)
+            frac = float(np.exp(rng.uniform(log_lo, log_hi)))
+            width = max(1, int(round(frac * domain)))
+            start = int(rng.integers(0, max(1, domain - width + 1)))
+            return RangePredicate(
+                slot.column, start, min(domain - 1, start + width - 1)
+            )
+        # IN list
+        size = int(rng.integers(slot.in_min, slot.in_max + 1))
+        size = min(size, domain)
+        values = set()
+        while len(values) < size:
+            values.add(self._sample_value(slot.column, rng))
+        return InPredicate(slot.column, tuple(sorted(values)))
+
+    def instantiate(
+        self, template: QueryTemplate, rng: np.random.Generator
+    ) -> Query:
+        """Bind all slots of ``template`` into a concrete query."""
+        filters = tuple(self._bind_slot(s, rng) for s in template.slots)
+        return Query(
+            qtype=template.qtype,
+            tables=template.tables,
+            join_predicates=template.join_predicates,
+            filters=filters,
+            select_columns=template.select_columns,
+            aggregates=template.aggregates,
+            group_by=template.group_by,
+            order_by=template.order_by,
+            set_columns=template.set_columns,
+        )
+
+    # ------------------------------------------------------------------
+    # workload generation
+    # ------------------------------------------------------------------
+    def generate(self, n: int, rng: np.random.Generator) -> Workload:
+        """Generate a workload of ``n`` statements.
+
+        Template choice follows the configured frequency distribution;
+        every template's human-readable name is registered with the
+        workload's template registry.
+        """
+        if n < 1:
+            raise ValueError(f"workload size must be >= 1, got {n}")
+        picks = rng.choice(len(self.templates), size=n, p=self._probs)
+        queries: List[Query] = []
+        names: List[str] = []
+        for t_idx in picks:
+            template = self.templates[int(t_idx)]
+            queries.append(self.instantiate(template, rng))
+            names.append(template.name)
+        return Workload(queries, template_names=names)

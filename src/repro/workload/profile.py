@@ -1,0 +1,146 @@
+"""Workload profiling: the summary a DBA inspects before tuning.
+
+The paper's techniques hinge on a few workload properties — template
+concentration, DML share, cost skew — that practitioners routinely
+check before committing to a tuning run.  :func:`profile_workload`
+computes them in one pass and renders them through
+:mod:`repro.experiments.report`-style tables.
+
+The profile also answers the operational questions the paper raises:
+does the cost distribution look heavy-tailed enough that naive uniform
+sampling is risky (§6), and how much of the workload do the top
+templates carry (§5's stratification leverage)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..queries.ast import QueryType
+from .workload import Workload
+
+__all__ = ["TemplateProfile", "WorkloadProfile", "profile_workload"]
+
+
+@dataclass(frozen=True)
+class TemplateProfile:
+    """Per-template summary statistics."""
+
+    template_id: int
+    name: str
+    count: int
+    share: float            #: fraction of statements
+    cost_share: float       #: fraction of total cost (when costed)
+    mean_cost: float
+    cv: float               #: coefficient of variation of costs
+
+    def is_heavy(self, threshold: float = 0.1) -> bool:
+        """Whether the template carries a large share of total cost."""
+        return self.cost_share >= threshold
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Whole-workload summary."""
+
+    size: int
+    template_count: int
+    dml_fraction: float
+    total_cost: float
+    cost_skewness: float            #: Fisher G1 of per-query costs
+    cost_p99_over_median: float     #: tail heaviness indicator
+    top_templates: Tuple[TemplateProfile, ...]
+    templates_for_half_cost: int    #: templates covering 50% of cost
+
+    def heavy_tailed(self) -> bool:
+        """Heuristic: is uniform sampling risky here (§6 concern)?"""
+        return self.cost_skewness > 2.0 or self.cost_p99_over_median > 50
+
+
+def _fisher_skew(values: np.ndarray) -> float:
+    std = values.std()
+    if std <= 0:
+        return 0.0
+    return float((((values - values.mean()) / std) ** 3).mean())
+
+
+def profile_workload(
+    workload: Workload,
+    costs: Optional[np.ndarray] = None,
+    top: int = 10,
+) -> WorkloadProfile:
+    """Profile a workload, optionally with per-query costs.
+
+    Parameters
+    ----------
+    workload:
+        The workload to profile.
+    costs:
+        Per-query costs in some reference configuration (e.g. the
+        current one).  Without costs, cost-derived fields are zero.
+    top:
+        How many templates to detail (ordered by cost share when costs
+        are given, else by statement count).
+    """
+    n = workload.size
+    if n == 0:
+        raise ValueError("cannot profile an empty workload")
+    if costs is None:
+        costs = np.zeros(n)
+    costs = np.asarray(costs, dtype=np.float64)
+    if len(costs) != n:
+        raise ValueError(f"{len(costs)} costs for {n} statements")
+
+    total = float(costs.sum())
+    groups = workload.indices_by_template()
+    profiles: List[TemplateProfile] = []
+    for tid, idx in groups.items():
+        t_costs = costs[idx]
+        mean = float(t_costs.mean()) if len(t_costs) else 0.0
+        std = float(t_costs.std()) if len(t_costs) else 0.0
+        profiles.append(TemplateProfile(
+            template_id=int(tid),
+            name=workload.registry.name_of(int(tid)),
+            count=len(idx),
+            share=len(idx) / n,
+            cost_share=(float(t_costs.sum()) / total) if total > 0
+            else 0.0,
+            mean_cost=mean,
+            cv=(std / mean) if mean > 0 else 0.0,
+        ))
+
+    if total > 0:
+        profiles.sort(key=lambda p: -p.cost_share)
+    else:
+        profiles.sort(key=lambda p: -p.count)
+
+    cum = 0.0
+    needed = len(profiles)
+    if total > 0:
+        for i, p in enumerate(profiles):
+            cum += p.cost_share
+            if cum >= 0.5:
+                needed = i + 1
+                break
+
+    positive = costs[costs > 0]
+    if len(positive) and total > 0:
+        p99 = float(np.percentile(positive, 99))
+        median = float(np.median(positive))
+        tail = p99 / median if median > 0 else 0.0
+    else:
+        tail = 0.0
+
+    return WorkloadProfile(
+        size=n,
+        template_count=workload.template_count,
+        dml_fraction=workload.dml_fraction(),
+        total_cost=total,
+        cost_skewness=_fisher_skew(costs) if total > 0 else 0.0,
+        cost_p99_over_median=tail,
+        top_templates=tuple(profiles[:top]),
+        templates_for_half_cost=needed,
+    )

@@ -1,0 +1,192 @@
+"""SQLite-backed workload table.
+
+Section 5 ("Preprocessing") of the paper: for workloads too large for
+memory, "we write all query strings to a database table, which also
+contains the query's ID and template", and obtain a random sample "by
+computing a random permutation of the query IDs and then (using a
+single scan) reading the queries corresponding to the first n IDs into
+memory".
+
+This module implements exactly that contract on SQLite: statements are
+stored as dialect SQL text plus template id, sampling computes a
+permutation of the ids client-side and reads the selected rows back in
+id order (one index-ordered pass), re-parsing the text into ASTs.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..queries.ast import Query
+from ..queries.parser import parse_query
+from ..queries.sqlgen import render_query
+from .workload import Workload
+
+__all__ = ["WorkloadStore"]
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS workload_queries (
+    id INTEGER PRIMARY KEY,
+    template_id INTEGER NOT NULL,
+    query_text TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS ix_workload_template
+    ON workload_queries (template_id);
+"""
+
+
+class WorkloadStore:
+    """A persistent workload table with permutation-based sampling.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path, or ``":memory:"`` (the default) for an
+        ephemeral store.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA_SQL)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self, workload: Workload) -> None:
+        """Write every statement of ``workload`` into the table.
+
+        Ids are assigned sequentially continuing from the current
+        maximum, so multiple loads append.
+        """
+        start = self.count()
+        rows = [
+            (
+                start + i,
+                int(workload.template_ids[i]),
+                render_query(q),
+            )
+            for i, q in enumerate(workload.queries)
+        ]
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO workload_queries (id, template_id, query_text) "
+                "VALUES (?, ?, ?)",
+                rows,
+            )
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "WorkloadStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of stored statements."""
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM workload_queries"
+        ).fetchone()
+        return int(row[0])
+
+    def template_counts(self) -> Dict[int, int]:
+        """Mapping ``template_id -> number of statements``."""
+        rows = self._conn.execute(
+            "SELECT template_id, COUNT(*) FROM workload_queries "
+            "GROUP BY template_id"
+        ).fetchall()
+        return {int(t): int(c) for t, c in rows}
+
+    def ids_by_template(self, template_id: int) -> List[int]:
+        """All statement ids belonging to one template."""
+        rows = self._conn.execute(
+            "SELECT id FROM workload_queries WHERE template_id = ? "
+            "ORDER BY id",
+            (template_id,),
+        ).fetchall()
+        return [int(r[0]) for r in rows]
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def read(self, ids: Sequence[int]) -> List[Tuple[int, Query]]:
+        """Read and parse the statements with the given ids.
+
+        Rows are fetched in id order (a single index-ordered scan) and
+        returned in the *requested* order.
+        """
+        if not len(ids):
+            return []
+        id_list = [int(i) for i in ids]
+        placeholders = ",".join("?" for _ in id_list)
+        rows = self._conn.execute(
+            f"SELECT id, query_text FROM workload_queries "
+            f"WHERE id IN ({placeholders}) ORDER BY id",
+            id_list,
+        ).fetchall()
+        found = {int(rid): parse_query(text) for rid, text in rows}
+        missing = [i for i in id_list if i not in found]
+        if missing:
+            raise KeyError(f"workload store has no statements {missing[:5]}")
+        return [(i, found[i]) for i in id_list]
+
+    def read_all(self) -> List[Tuple[int, int, Query]]:
+        """Read every statement as ``(id, template_id, query)``."""
+        rows = self._conn.execute(
+            "SELECT id, template_id, query_text FROM workload_queries "
+            "ORDER BY id"
+        ).fetchall()
+        return [(int(i), int(t), parse_query(text)) for i, t, text in rows]
+
+    # ------------------------------------------------------------------
+    # sampling (the paper's permutation scheme)
+    # ------------------------------------------------------------------
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> List[Tuple[int, Query]]:
+        """Uniform sample without replacement of ``n`` statements."""
+        total = self.count()
+        if n > total:
+            raise ValueError(
+                f"cannot sample {n} statements from a store of {total}"
+            )
+        all_ids = [
+            int(r[0])
+            for r in self._conn.execute(
+                "SELECT id FROM workload_queries ORDER BY id"
+            )
+        ]
+        permuted = rng.permutation(all_ids)[:n]
+        return self.read(sorted(int(i) for i in permuted))
+
+    def sample_stratified(
+        self,
+        counts: Dict[int, int],
+        rng: np.random.Generator,
+    ) -> Dict[int, List[Tuple[int, Query]]]:
+        """Sample ``counts[template_id]`` statements from each template.
+
+        Trivially extends the permutation scheme to stratified sampling,
+        as the paper notes.
+        """
+        out: Dict[int, List[Tuple[int, Query]]] = {}
+        for template_id, n in counts.items():
+            ids = self.ids_by_template(template_id)
+            if n > len(ids):
+                raise ValueError(
+                    f"template {template_id} has {len(ids)} statements, "
+                    f"cannot sample {n}"
+                )
+            permuted = rng.permutation(ids)[:n]
+            out[template_id] = self.read(sorted(int(i) for i in permuted))
+        return out

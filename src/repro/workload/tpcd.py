@@ -1,0 +1,496 @@
+"""Synthetic TPC-D database and QGEN-like workload generator.
+
+Models the paper's synthetic evaluation database (Section 7): the TPC-D
+schema, generated "so that the frequency of attribute values follows a
+Zipf-like distribution, using the skew-parameter theta = 1", with
+workloads produced by a QGEN-style template generator.
+
+The scale factor defaults to 0.1 to keep simulated page counts moderate
+(only relative costs matter); the paper's ~1 GB database corresponds to
+``scale_factor=1.0``.
+
+Seventeen SELECT templates (Q1 .. Q17, loosely following the TPC-D
+query set, simplified to the repro SQL dialect) plus five DML templates
+(U1 .. U5) are defined; DML templates model the index/view maintenance
+trade-off of footnote 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..catalog.schema import Column, ColumnType, ForeignKey, Schema, Table
+from ..queries.ast import (
+    Aggregate,
+    ColumnRef,
+    JoinPredicate,
+    QueryType,
+)
+from .generator import FilterSlot, QueryTemplate, WorkloadGenerator
+from .workload import Workload
+
+__all__ = [
+    "tpcd_schema",
+    "tpcd_templates",
+    "tpcd_generator",
+    "generate_tpcd_workload",
+]
+
+#: Zipf skew used for non-key attributes (the paper's theta).
+THETA = 1.0
+
+
+def _col(ref: str) -> ColumnRef:
+    table, column = ref.split(".", 1)
+    return ColumnRef(table, column)
+
+
+def _join(left: str, right: str) -> JoinPredicate:
+    return JoinPredicate(_col(left), _col(right))
+
+
+def tpcd_schema(scale_factor: float = 0.1) -> Schema:
+    """Build the TPC-D schema at the given scale factor.
+
+    Key columns are uniform; descriptive attributes carry Zipf(theta=1)
+    value distributions, as in the paper's data generator.
+    """
+    if scale_factor <= 0:
+        raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+    sf = scale_factor
+    schema = Schema(f"tpcd_sf{scale_factor:g}")
+
+    def table(name: str, rows: float) -> Table:
+        return schema.add_table(Table(name, max(1, int(rows))))
+
+    region = table("region", 5)
+    region.add_column(Column("r_regionkey", distinct_count=5))
+    region.add_column(Column("r_name", ColumnType.STRING, distinct_count=5))
+
+    nation = table("nation", 25)
+    nation.add_column(Column("n_nationkey", distinct_count=25))
+    nation.add_column(Column("n_regionkey", distinct_count=5))
+    nation.add_column(Column("n_name", ColumnType.STRING, distinct_count=25))
+
+    supplier = table("supplier", 10_000 * sf)
+    n_supp = supplier.row_count
+    supplier.add_column(Column("s_suppkey", distinct_count=n_supp))
+    supplier.add_column(
+        Column("s_nationkey", distinct_count=25, zipf_theta=THETA)
+    )
+    supplier.add_column(
+        Column("s_acctbal", ColumnType.FLOAT, distinct_count=9_999,
+               zipf_theta=THETA)
+    )
+
+    part = table("part", 200_000 * sf)
+    n_part = part.row_count
+    part.add_column(Column("p_partkey", distinct_count=n_part))
+    part.add_column(
+        Column("p_brand", ColumnType.STRING, distinct_count=25,
+               zipf_theta=THETA)
+    )
+    part.add_column(
+        Column("p_type", ColumnType.STRING, distinct_count=150,
+               zipf_theta=THETA)
+    )
+    part.add_column(Column("p_size", distinct_count=50, zipf_theta=THETA))
+    part.add_column(
+        Column("p_container", ColumnType.STRING, distinct_count=40,
+               zipf_theta=THETA)
+    )
+    part.add_column(
+        Column("p_retailprice", ColumnType.FLOAT, distinct_count=20_000)
+    )
+
+    partsupp = table("partsupp", 800_000 * sf)
+    partsupp.add_column(Column("ps_partkey", distinct_count=n_part))
+    partsupp.add_column(Column("ps_suppkey", distinct_count=n_supp))
+    partsupp.add_column(
+        Column("ps_availqty", distinct_count=9_999, zipf_theta=THETA)
+    )
+    partsupp.add_column(
+        Column("ps_supplycost", ColumnType.FLOAT, distinct_count=15_000)
+    )
+
+    customer = table("customer", 150_000 * sf)
+    n_cust = customer.row_count
+    customer.add_column(Column("c_custkey", distinct_count=n_cust))
+    customer.add_column(
+        Column("c_nationkey", distinct_count=25, zipf_theta=THETA)
+    )
+    customer.add_column(
+        Column("c_mktsegment", ColumnType.STRING, distinct_count=5,
+               zipf_theta=THETA)
+    )
+    customer.add_column(
+        Column("c_acctbal", ColumnType.FLOAT, distinct_count=9_999,
+               zipf_theta=THETA)
+    )
+
+    orders = table("orders", 1_500_000 * sf)
+    n_ord = orders.row_count
+    orders.add_column(Column("o_orderkey", distinct_count=n_ord))
+    orders.add_column(
+        Column("o_custkey", distinct_count=n_cust, zipf_theta=THETA)
+    )
+    orders.add_column(Column("o_orderdate", ColumnType.DATE,
+                             distinct_count=2_406))
+    orders.add_column(
+        Column("o_orderpriority", ColumnType.STRING, distinct_count=5,
+               zipf_theta=THETA)
+    )
+    orders.add_column(
+        Column("o_orderstatus", ColumnType.STRING, distinct_count=3,
+               zipf_theta=THETA)
+    )
+    orders.add_column(
+        Column("o_totalprice", ColumnType.FLOAT, distinct_count=100_000)
+    )
+
+    lineitem = table("lineitem", 6_000_000 * sf)
+    lineitem.add_column(
+        Column("l_orderkey", distinct_count=n_ord, zipf_theta=0.0)
+    )
+    lineitem.add_column(
+        Column("l_partkey", distinct_count=n_part, zipf_theta=THETA)
+    )
+    lineitem.add_column(
+        Column("l_suppkey", distinct_count=n_supp, zipf_theta=THETA)
+    )
+    lineitem.add_column(Column("l_quantity", distinct_count=50,
+                               zipf_theta=THETA))
+    lineitem.add_column(
+        Column("l_extendedprice", ColumnType.FLOAT, distinct_count=100_000)
+    )
+    lineitem.add_column(Column("l_discount", distinct_count=11,
+                               zipf_theta=THETA))
+    lineitem.add_column(Column("l_tax", distinct_count=9, zipf_theta=THETA))
+    lineitem.add_column(
+        Column("l_returnflag", ColumnType.STRING, distinct_count=3,
+               zipf_theta=THETA)
+    )
+    lineitem.add_column(
+        Column("l_linestatus", ColumnType.STRING, distinct_count=2,
+               zipf_theta=THETA)
+    )
+    lineitem.add_column(Column("l_shipdate", ColumnType.DATE,
+                               distinct_count=2_526))
+    lineitem.add_column(
+        Column("l_shipmode", ColumnType.STRING, distinct_count=7,
+               zipf_theta=THETA)
+    )
+
+    for child, ccol, parent, pcol in (
+        ("nation", "n_regionkey", "region", "r_regionkey"),
+        ("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ("customer", "c_nationkey", "nation", "n_nationkey"),
+        ("partsupp", "ps_partkey", "part", "p_partkey"),
+        ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+        ("orders", "o_custkey", "customer", "c_custkey"),
+        ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ("lineitem", "l_partkey", "part", "p_partkey"),
+        ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ):
+        schema.add_foreign_key(ForeignKey(child, ccol, parent, pcol))
+    return schema
+
+
+def tpcd_templates(include_dml: bool = True) -> List[QueryTemplate]:
+    """The QGEN-like template set (Q1..Q17 plus U1..U5 when requested)."""
+    templates: List[QueryTemplate] = []
+
+    # Q1: pricing summary report — big scan with aggregation.
+    templates.append(QueryTemplate(
+        name="Q1", qtype=QueryType.SELECT, tables=("lineitem",),
+        slots=(FilterSlot(_col("lineitem.l_shipdate"), "range",
+                          min_frac=0.6, max_frac=0.98),),
+        group_by=(_col("lineitem.l_returnflag"),
+                  _col("lineitem.l_linestatus")),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_quantity")),
+                    Aggregate("SUM", _col("lineitem.l_extendedprice")),
+                    Aggregate("COUNT", None)),
+    ))
+
+    # Q2: minimum-cost supplier — part/partsupp/supplier/nation join.
+    templates.append(QueryTemplate(
+        name="Q2", qtype=QueryType.SELECT,
+        tables=("part", "partsupp", "supplier", "nation"),
+        join_predicates=(
+            _join("partsupp.ps_partkey", "part.p_partkey"),
+            _join("partsupp.ps_suppkey", "supplier.s_suppkey"),
+            _join("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        slots=(FilterSlot(_col("part.p_size"), "eq"),
+               FilterSlot(_col("part.p_type"), "eq")),
+        select_columns=(_col("supplier.s_acctbal"), _col("nation.n_name"),
+                        _col("part.p_partkey")),
+        order_by=(_col("supplier.s_acctbal"),),
+    ))
+
+    # Q3: shipping priority — customer/orders/lineitem join.
+    templates.append(QueryTemplate(
+        name="Q3", qtype=QueryType.SELECT,
+        tables=("customer", "orders", "lineitem"),
+        join_predicates=(
+            _join("orders.o_custkey", "customer.c_custkey"),
+            _join("lineitem.l_orderkey", "orders.o_orderkey"),
+        ),
+        slots=(FilterSlot(_col("customer.c_mktsegment"), "eq"),
+               FilterSlot(_col("orders.o_orderdate"), "range",
+                          min_frac=0.2, max_frac=0.6)),
+        select_columns=(_col("lineitem.l_orderkey"),),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_extendedprice")),),
+        group_by=(_col("lineitem.l_orderkey"),
+                  _col("orders.o_orderdate")),
+    ))
+
+    # Q4: order priority checking.
+    templates.append(QueryTemplate(
+        name="Q4", qtype=QueryType.SELECT, tables=("orders", "lineitem"),
+        join_predicates=(_join("lineitem.l_orderkey", "orders.o_orderkey"),),
+        slots=(FilterSlot(_col("orders.o_orderdate"), "range",
+                          min_frac=0.02, max_frac=0.1),),
+        group_by=(_col("orders.o_orderpriority"),),
+        aggregates=(Aggregate("COUNT", None),),
+    ))
+
+    # Q5: local supplier volume — 5-way join.
+    templates.append(QueryTemplate(
+        name="Q5", qtype=QueryType.SELECT,
+        tables=("customer", "orders", "lineitem", "supplier", "nation"),
+        join_predicates=(
+            _join("orders.o_custkey", "customer.c_custkey"),
+            _join("lineitem.l_orderkey", "orders.o_orderkey"),
+            _join("lineitem.l_suppkey", "supplier.s_suppkey"),
+            _join("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        slots=(FilterSlot(_col("nation.n_regionkey"), "eq"),
+               FilterSlot(_col("orders.o_orderdate"), "range",
+                          min_frac=0.1, max_frac=0.25)),
+        group_by=(_col("nation.n_name"),),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_extendedprice")),),
+    ))
+
+    # Q6: forecasting revenue change — selective single-table aggregate.
+    templates.append(QueryTemplate(
+        name="Q6", qtype=QueryType.SELECT, tables=("lineitem",),
+        slots=(FilterSlot(_col("lineitem.l_shipdate"), "range",
+                          min_frac=0.1, max_frac=0.2),
+               FilterSlot(_col("lineitem.l_discount"), "eq"),
+               FilterSlot(_col("lineitem.l_quantity"), "range",
+                          min_frac=0.2, max_frac=0.5)),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_extendedprice")),),
+    ))
+
+    # Q7: volume shipping (simplified to one nation pair side).
+    templates.append(QueryTemplate(
+        name="Q7", qtype=QueryType.SELECT,
+        tables=("supplier", "lineitem", "orders", "customer", "nation"),
+        join_predicates=(
+            _join("lineitem.l_suppkey", "supplier.s_suppkey"),
+            _join("lineitem.l_orderkey", "orders.o_orderkey"),
+            _join("orders.o_custkey", "customer.c_custkey"),
+            _join("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        slots=(FilterSlot(_col("nation.n_nationkey"), "eq"),
+               FilterSlot(_col("lineitem.l_shipdate"), "range",
+                          min_frac=0.25, max_frac=0.45)),
+        group_by=(_col("nation.n_name"),),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_extendedprice")),),
+    ))
+
+    # Q8: market share (simplified).
+    templates.append(QueryTemplate(
+        name="Q8", qtype=QueryType.SELECT,
+        tables=("part", "lineitem", "orders", "customer", "nation",
+                "region"),
+        join_predicates=(
+            _join("lineitem.l_partkey", "part.p_partkey"),
+            _join("lineitem.l_orderkey", "orders.o_orderkey"),
+            _join("orders.o_custkey", "customer.c_custkey"),
+            _join("customer.c_nationkey", "nation.n_nationkey"),
+            _join("nation.n_regionkey", "region.r_regionkey"),
+        ),
+        slots=(FilterSlot(_col("region.r_regionkey"), "eq"),
+               FilterSlot(_col("part.p_type"), "eq"),
+               FilterSlot(_col("orders.o_orderdate"), "range",
+                          min_frac=0.2, max_frac=0.35)),
+        group_by=(_col("orders.o_orderdate"),),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_extendedprice")),),
+    ))
+
+    # Q9: product type profit (simplified).
+    templates.append(QueryTemplate(
+        name="Q9", qtype=QueryType.SELECT,
+        tables=("part", "lineitem", "partsupp", "supplier", "nation"),
+        join_predicates=(
+            _join("lineitem.l_partkey", "part.p_partkey"),
+            _join("partsupp.ps_partkey", "part.p_partkey"),
+            _join("lineitem.l_suppkey", "supplier.s_suppkey"),
+            _join("partsupp.ps_suppkey", "supplier.s_suppkey"),
+            _join("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        slots=(FilterSlot(_col("part.p_type"), "eq"),),
+        group_by=(_col("nation.n_name"),),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_extendedprice")),),
+    ))
+
+    # Q10: returned item reporting.
+    templates.append(QueryTemplate(
+        name="Q10", qtype=QueryType.SELECT,
+        tables=("customer", "orders", "lineitem", "nation"),
+        join_predicates=(
+            _join("orders.o_custkey", "customer.c_custkey"),
+            _join("lineitem.l_orderkey", "orders.o_orderkey"),
+            _join("customer.c_nationkey", "nation.n_nationkey"),
+        ),
+        slots=(FilterSlot(_col("orders.o_orderdate"), "range",
+                          min_frac=0.05, max_frac=0.12),
+               FilterSlot(_col("lineitem.l_returnflag"), "eq")),
+        group_by=(_col("customer.c_custkey"), _col("nation.n_name")),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_extendedprice")),),
+    ))
+
+    # Q11: important stock identification.
+    templates.append(QueryTemplate(
+        name="Q11", qtype=QueryType.SELECT,
+        tables=("partsupp", "supplier", "nation"),
+        join_predicates=(
+            _join("partsupp.ps_suppkey", "supplier.s_suppkey"),
+            _join("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        slots=(FilterSlot(_col("nation.n_nationkey"), "eq"),),
+        group_by=(_col("partsupp.ps_partkey"),),
+        aggregates=(Aggregate("SUM", _col("partsupp.ps_supplycost")),),
+    ))
+
+    # Q12: shipping modes and order priority.
+    templates.append(QueryTemplate(
+        name="Q12", qtype=QueryType.SELECT, tables=("orders", "lineitem"),
+        join_predicates=(_join("lineitem.l_orderkey", "orders.o_orderkey"),),
+        slots=(FilterSlot(_col("lineitem.l_shipmode"), "in",
+                          in_min=2, in_max=3),
+               FilterSlot(_col("lineitem.l_shipdate"), "range",
+                          min_frac=0.3, max_frac=0.5)),
+        group_by=(_col("lineitem.l_shipmode"),),
+        aggregates=(Aggregate("COUNT", None),),
+    ))
+
+    # Q13: customer distribution.
+    templates.append(QueryTemplate(
+        name="Q13", qtype=QueryType.SELECT, tables=("customer", "orders"),
+        join_predicates=(_join("orders.o_custkey", "customer.c_custkey"),),
+        slots=(FilterSlot(_col("orders.o_orderpriority"), "eq"),),
+        group_by=(_col("customer.c_custkey"),),
+        aggregates=(Aggregate("COUNT", None),),
+    ))
+
+    # Q14: promotion effect.
+    templates.append(QueryTemplate(
+        name="Q14", qtype=QueryType.SELECT, tables=("lineitem", "part"),
+        join_predicates=(_join("lineitem.l_partkey", "part.p_partkey"),),
+        slots=(FilterSlot(_col("lineitem.l_shipdate"), "range",
+                          min_frac=0.025, max_frac=0.05),),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_extendedprice")),),
+    ))
+
+    # Q15: top supplier (simplified).
+    templates.append(QueryTemplate(
+        name="Q15", qtype=QueryType.SELECT,
+        tables=("lineitem", "supplier"),
+        join_predicates=(_join("lineitem.l_suppkey", "supplier.s_suppkey"),),
+        slots=(FilterSlot(_col("lineitem.l_shipdate"), "range",
+                          min_frac=0.06, max_frac=0.12),),
+        group_by=(_col("supplier.s_suppkey"),),
+        aggregates=(Aggregate("SUM", _col("lineitem.l_extendedprice")),),
+    ))
+
+    # Q16: parts/supplier relationship.
+    templates.append(QueryTemplate(
+        name="Q16", qtype=QueryType.SELECT, tables=("partsupp", "part"),
+        join_predicates=(_join("partsupp.ps_partkey", "part.p_partkey"),),
+        slots=(FilterSlot(_col("part.p_brand"), "eq"),
+               FilterSlot(_col("part.p_size"), "in", in_min=3, in_max=8)),
+        group_by=(_col("part.p_brand"), _col("part.p_type"),
+                  _col("part.p_size")),
+        aggregates=(Aggregate("COUNT", None),),
+    ))
+
+    # Q17: small-quantity-order revenue — very selective point-ish query.
+    templates.append(QueryTemplate(
+        name="Q17", qtype=QueryType.SELECT, tables=("lineitem", "part"),
+        join_predicates=(_join("lineitem.l_partkey", "part.p_partkey"),),
+        slots=(FilterSlot(_col("part.p_brand"), "eq"),
+               FilterSlot(_col("part.p_container"), "eq"),
+               FilterSlot(_col("lineitem.l_quantity"), "range",
+                          min_frac=0.02, max_frac=0.1)),
+        aggregates=(Aggregate("AVG", _col("lineitem.l_extendedprice")),),
+    ))
+
+    if not include_dml:
+        return templates
+
+    # U1: adjust a single order's line items.
+    templates.append(QueryTemplate(
+        name="U1", qtype=QueryType.UPDATE, tables=("lineitem",),
+        slots=(FilterSlot(_col("lineitem.l_orderkey"), "eq"),),
+        set_columns=(_col("lineitem.l_quantity"),),
+    ))
+    # U2: reprice recent orders (range update).
+    templates.append(QueryTemplate(
+        name="U2", qtype=QueryType.UPDATE, tables=("orders",),
+        slots=(FilterSlot(_col("orders.o_orderdate"), "range",
+                          min_frac=0.002, max_frac=0.01),),
+        set_columns=(_col("orders.o_totalprice"),),
+    ))
+    # U3: new order arrival.
+    templates.append(QueryTemplate(
+        name="U3", qtype=QueryType.INSERT, tables=("orders",),
+    ))
+    # U4: purge a single order.
+    templates.append(QueryTemplate(
+        name="U4", qtype=QueryType.DELETE, tables=("orders",),
+        slots=(FilterSlot(_col("orders.o_orderkey"), "eq"),),
+    ))
+    # U5: customer balance maintenance.
+    templates.append(QueryTemplate(
+        name="U5", qtype=QueryType.UPDATE, tables=("customer",),
+        slots=(FilterSlot(_col("customer.c_custkey"), "eq"),),
+        set_columns=(_col("customer.c_acctbal"),),
+    ))
+    return templates
+
+
+def tpcd_generator(
+    schema: Optional[Schema] = None,
+    include_dml: bool = True,
+    weights: Optional[Sequence[float]] = None,
+) -> WorkloadGenerator:
+    """A ready-to-use QGEN-like generator over the TPC-D schema.
+
+    With default weights, SELECT templates are drawn uniformly and each
+    DML template at a fifth of a SELECT template's frequency, giving a
+    mostly-read workload with a realistic maintenance component.
+    """
+    schema = schema if schema is not None else tpcd_schema()
+    templates = tpcd_templates(include_dml=include_dml)
+    if weights is None:
+        weights = [
+            1.0 if t.qtype == QueryType.SELECT else 0.2 for t in templates
+        ]
+    return WorkloadGenerator(schema, templates, weights=weights)
+
+
+def generate_tpcd_workload(
+    n: int,
+    seed: int = 0,
+    schema: Optional[Schema] = None,
+    include_dml: bool = True,
+) -> Workload:
+    """Generate an ``n``-statement TPC-D workload with a fixed seed."""
+    generator = tpcd_generator(schema=schema, include_dml=include_dml)
+    rng = np.random.default_rng(seed)
+    return generator.generate(n, rng)

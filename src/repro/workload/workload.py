@@ -1,0 +1,164 @@
+"""The in-memory workload container.
+
+A workload is the ordered list of queries traced from a production
+system (Section 1 of the paper).  Besides the queries themselves it
+holds the template registry and per-query template ids — the metadata
+the stratification layer (Section 5) keys on — and convenience methods
+to extract cost vectors/matrices from a what-if optimizer for the
+ground-truth computations the experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..queries.ast import Query, QueryType
+from ..queries.templates import TemplateRegistry
+
+__all__ = ["Workload"]
+
+
+class Workload:
+    """An ordered collection of queries with template metadata.
+
+    Parameters
+    ----------
+    queries:
+        The traced statements, in trace order.
+    registry:
+        Template registry to use; a fresh one is created if omitted.
+        Passing a shared registry lets several workloads (or a workload
+        and its compressed version) agree on template ids.
+    template_names:
+        Optional parallel sequence of human-readable template names
+        (e.g. ``"Q6"``), applied on first registration.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        registry: Optional[TemplateRegistry] = None,
+        template_names: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        self.queries: List[Query] = list(queries)
+        self.registry = registry if registry is not None else \
+            TemplateRegistry()
+        if template_names is not None and len(template_names) != len(
+            self.queries
+        ):
+            raise ValueError(
+                "template_names must parallel queries "
+                f"({len(template_names)} names, {len(self.queries)} queries)"
+            )
+        ids = []
+        for i, q in enumerate(self.queries):
+            name = template_names[i] if template_names is not None else None
+            ids.append(self.registry.template_id(q, name=name))
+        self.template_ids = np.asarray(ids, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of statements (the paper's N)."""
+        return len(self.queries)
+
+    @property
+    def template_count(self) -> int:
+        """Number of distinct templates appearing in the workload."""
+        return len(np.unique(self.template_ids))
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __getitem__(self, idx: int) -> Query:
+        return self.queries[idx]
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    # ------------------------------------------------------------------
+    # template structure
+    # ------------------------------------------------------------------
+    def indices_by_template(self) -> Dict[int, np.ndarray]:
+        """Mapping ``template_id -> array of query positions``."""
+        order = np.argsort(self.template_ids, kind="stable")
+        sorted_ids = self.template_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        groups = np.split(order, boundaries)
+        return {int(self.template_ids[g[0]]): g for g in groups}
+
+    def template_sizes(self) -> Dict[int, int]:
+        """Mapping ``template_id -> number of queries``."""
+        ids, counts = np.unique(self.template_ids, return_counts=True)
+        return {int(t): int(c) for t, c in zip(ids, counts)}
+
+    def dml_fraction(self) -> float:
+        """Fraction of statements that modify data."""
+        if not self.queries:
+            return 0.0
+        dml = sum(1 for q in self.queries if q.qtype in QueryType.DML)
+        return dml / len(self.queries)
+
+    # ------------------------------------------------------------------
+    # ground-truth costing (experiment support)
+    # ------------------------------------------------------------------
+    def cost_vector(self, optimizer, config) -> np.ndarray:
+        """``Cost(q_i, config)`` for every query, as a float array.
+
+        ``optimizer`` is a
+        :class:`repro.optimizer.whatif.WhatIfOptimizer`; typed loosely
+        to avoid import cycles.
+        """
+        return np.asarray(
+            [optimizer.cost(q, config) for q in self.queries],
+            dtype=np.float64,
+        )
+
+    def cost_matrix(self, optimizer, configs) -> np.ndarray:
+        """The full N x k matrix of costs across ``configs``.
+
+        This is the ground truth the experiments' Monte Carlo layer
+        samples from; computing it performs the exhaustive N*k
+        optimizer calls the paper's primitive avoids.
+        """
+        columns = [self.cost_vector(optimizer, cfg) for cfg in configs]
+        return np.column_stack(columns)
+
+    def total_cost(self, optimizer, config) -> float:
+        """``Cost(WL, config)`` — the configuration's total cost."""
+        return float(self.cost_vector(optimizer, config).sum())
+
+    def template_overheads(self) -> np.ndarray:
+        """Relative per-template optimization overhead estimates.
+
+        Section 5.2 of the paper models non-uniform optimization times
+        "by computing the average overhead for each
+        configuration/stratum pair".  Optimization time grows with plan
+        search-space size, dominated by the number of joined tables; we
+        use ``(1 + join_count)^2`` as the per-template relative
+        overhead.  Returns a dense array indexed by template id,
+        suitable for
+        :class:`repro.core.selector.ConfigurationSelector`'s
+        ``template_overheads`` argument.
+        """
+        n_templates = int(self.template_ids.max()) + 1 if len(
+            self.queries
+        ) else 0
+        overheads = np.ones(n_templates)
+        for q, tid in zip(self.queries, self.template_ids):
+            overheads[int(tid)] = float((1 + q.join_count) ** 2)
+        return overheads
+
+    # ------------------------------------------------------------------
+    # slicing
+    # ------------------------------------------------------------------
+    def subset(self, indices: Iterable[int]) -> "Workload":
+        """A new workload containing the selected queries (shared registry)."""
+        idx = list(indices)
+        return Workload(
+            [self.queries[i] for i in idx], registry=self.registry
+        )

@@ -1,0 +1,127 @@
+"""Shared fixtures: a small schema, optimizer and workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog import Column, ColumnType, ForeignKey, Schema, Table
+from repro.optimizer import WhatIfOptimizer
+from repro.physical import Configuration, Index, MaterializedView
+from repro.queries import (
+    Aggregate,
+    ColumnRef,
+    EqPredicate,
+    JoinPredicate,
+    Query,
+    QueryType,
+    RangePredicate,
+)
+
+
+@pytest.fixture
+def small_schema() -> Schema:
+    """orders (100K rows) -> customer (5K rows), with skewed attributes."""
+    schema = Schema("small")
+    orders = schema.add_table(Table("orders", 100_000))
+    orders.add_column(Column("o_id", distinct_count=100_000))
+    orders.add_column(
+        Column("o_cust", distinct_count=5_000, zipf_theta=1.0)
+    )
+    orders.add_column(
+        Column("o_status", ColumnType.STRING, distinct_count=5,
+               zipf_theta=1.0)
+    )
+    orders.add_column(
+        Column("o_total", ColumnType.FLOAT, distinct_count=10_000)
+    )
+    orders.add_column(Column("o_date", ColumnType.DATE,
+                             distinct_count=1_000))
+    customer = schema.add_table(Table("customer", 5_000))
+    customer.add_column(Column("c_id", distinct_count=5_000))
+    customer.add_column(
+        Column("c_region", distinct_count=5, zipf_theta=1.0)
+    )
+    customer.add_column(
+        Column("c_name", ColumnType.STRING, distinct_count=5_000)
+    )
+    schema.add_foreign_key(
+        ForeignKey("orders", "o_cust", "customer", "c_id")
+    )
+    return schema
+
+
+@pytest.fixture
+def optimizer(small_schema) -> WhatIfOptimizer:
+    return WhatIfOptimizer(small_schema)
+
+
+@pytest.fixture
+def join_query() -> Query:
+    """A two-table join with a selective filter."""
+    return Query(
+        qtype=QueryType.SELECT,
+        tables=("orders", "customer"),
+        join_predicates=(
+            JoinPredicate(
+                ColumnRef("orders", "o_cust"), ColumnRef("customer", "c_id")
+            ),
+        ),
+        filters=(EqPredicate(ColumnRef("customer", "c_region"), 2),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+
+
+@pytest.fixture
+def point_query() -> Query:
+    """A selective single-table lookup."""
+    return Query(
+        qtype=QueryType.SELECT,
+        tables=("orders",),
+        filters=(EqPredicate(ColumnRef("orders", "o_id"), 42),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+
+
+@pytest.fixture
+def scan_query() -> Query:
+    """A broad range scan with aggregation."""
+    return Query(
+        qtype=QueryType.SELECT,
+        tables=("orders",),
+        filters=(RangePredicate(ColumnRef("orders", "o_date"), 0, 800),),
+        group_by=(ColumnRef("orders", "o_status"),),
+        aggregates=(Aggregate("SUM", ColumnRef("orders", "o_total")),),
+    )
+
+
+@pytest.fixture
+def update_query() -> Query:
+    return Query(
+        qtype=QueryType.UPDATE,
+        tables=("orders",),
+        filters=(EqPredicate(ColumnRef("orders", "o_cust"), 7),),
+        set_columns=(ColumnRef("orders", "o_total"),),
+    )
+
+
+@pytest.fixture
+def empty_config() -> Configuration:
+    return Configuration(name="empty")
+
+
+@pytest.fixture
+def indexed_config() -> Configuration:
+    return Configuration(
+        [
+            Index("orders", ("o_cust",), ("o_total",)),
+            Index("orders", ("o_id",), ("o_total",)),
+            Index("customer", ("c_region",), ("c_id",)),
+        ],
+        name="indexed",
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,74 @@
+"""Tests for the batch-means selection baseline (§2 related work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchingComparison,
+    ConfigurationSelector,
+    MatrixCostSource,
+    SelectorOptions,
+)
+
+
+@pytest.fixture
+def easy_matrix(rng):
+    base = np.abs(rng.lognormal(2, 1.2, 2000))
+    return np.column_stack([base, base * 1.08, base * 1.2])
+
+
+class TestBatchingComparison:
+    def test_selects_correctly(self, easy_matrix, rng):
+        source = MatrixCostSource(easy_matrix)
+        result = BatchingComparison(
+            source, batch_size=150, batches=8, rng=rng
+        ).run()
+        assert result.best_index == source.true_best()
+        assert 0 <= result.prcs <= 1
+        assert result.batch_means.shape == (3, 8)
+
+    def test_call_demand_is_fixed(self, easy_matrix, rng):
+        source = MatrixCostSource(easy_matrix)
+        result = BatchingComparison(
+            source, batch_size=100, batches=5, rng=rng
+        ).run()
+        # Distinct (query, config) pairs touched: up to size*batches
+        # per configuration.
+        assert result.optimizer_calls <= 100 * 5 * 3
+        assert result.optimizer_calls >= 100 * 5  # at least one config
+
+    def test_resamples_when_workload_small(self, rng):
+        base = np.abs(rng.lognormal(2, 1, 50))
+        matrix = np.column_stack([base, base * 1.5])
+        source = MatrixCostSource(matrix)
+        result = BatchingComparison(
+            source, batch_size=100, batches=4, rng=rng
+        ).run()
+        assert result.best_index == 0
+
+    def test_validation(self, easy_matrix, rng):
+        source = MatrixCostSource(easy_matrix)
+        with pytest.raises(ValueError):
+            BatchingComparison(source, batch_size=0, rng=rng)
+        with pytest.raises(ValueError):
+            BatchingComparison(source, batches=1, rng=rng)
+
+    def test_far_more_expensive_than_primitive(self, easy_matrix):
+        """The §2 claim: batching nullifies the sampling gain."""
+        source_b = MatrixCostSource(easy_matrix)
+        batching = BatchingComparison(
+            source_b, batch_size=200, batches=8,
+            rng=np.random.default_rng(1),
+        ).run()
+
+        source_p = MatrixCostSource(easy_matrix)
+        primitive = ConfigurationSelector(
+            source_p, np.zeros(len(easy_matrix), dtype=int),
+            SelectorOptions(alpha=0.9, stratify="none", consecutive=5),
+            rng=np.random.default_rng(1),
+        ).run()
+
+        assert batching.best_index == primitive.best_index
+        assert primitive.optimizer_calls < batching.optimizer_calls / 3

@@ -1,0 +1,232 @@
+"""Tests for the catalog substrate: zipf, schema, statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import (
+    Column,
+    ColumnType,
+    ForeignKey,
+    Histogram,
+    Schema,
+    StatisticsCatalog,
+    Table,
+    top_k_mass,
+    zipf_cdf,
+    zipf_pmf,
+    zipf_weights,
+)
+
+
+class TestZipf:
+    def test_pmf_sums_to_one(self):
+        pmf = zipf_pmf(100, 1.0)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_uniform_when_theta_zero(self):
+        pmf = zipf_pmf(10, 0.0)
+        assert np.allclose(pmf, 0.1)
+
+    def test_monotone_decreasing(self):
+        pmf = zipf_pmf(50, 1.0)
+        assert (np.diff(pmf) <= 1e-15).all()
+
+    def test_head_mass_grows_with_theta(self):
+        light = top_k_mass(1000, 0.5, 10)
+        heavy = top_k_mass(1000, 1.5, 10)
+        assert heavy > light
+
+    def test_cdf_ends_at_one(self):
+        assert zipf_cdf(37, 1.0)[-1] == pytest.approx(1.0)
+
+    def test_weights_first_is_one(self):
+        assert zipf_weights(5, 2.0)[0] == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_pmf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_pmf(5, -0.1)
+        with pytest.raises(ValueError):
+            top_k_mass(5, 1.0, -1)
+
+    def test_top_k_capped_at_n(self):
+        assert top_k_mass(5, 1.0, 100) == pytest.approx(1.0)
+
+    @given(
+        n=st.integers(1, 500),
+        theta=st.floats(0.0, 3.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pmf_valid_distribution(self, n, theta):
+        pmf = zipf_pmf(n, theta)
+        assert len(pmf) == n
+        assert (pmf >= 0).all()
+        assert pmf.sum() == pytest.approx(1.0)
+
+
+class TestSchema:
+    def test_column_width_defaults(self):
+        col = Column("c", ColumnType.STRING, distinct_count=10)
+        assert col.width == ColumnType.WIDTH_BYTES[ColumnType.STRING]
+
+    def test_column_rejects_bad_type(self):
+        with pytest.raises(ValueError):
+            Column("c", "blob", distinct_count=10)
+
+    def test_column_rejects_zero_distinct(self):
+        with pytest.raises(ValueError):
+            Column("c", distinct_count=0)
+
+    def test_table_duplicate_column(self):
+        table = Table("t", 100)
+        table.add_column(Column("a"))
+        with pytest.raises(ValueError):
+            table.add_column(Column("a"))
+
+    def test_table_pages_positive(self):
+        table = Table("t", 0)
+        table.add_column(Column("a"))
+        assert table.pages() == 1
+
+    def test_table_pages_scale_with_rows(self):
+        small = Table("s", 1_000).add_column(Column("a"))
+        large = Table("l", 1_000_000).add_column(Column("a"))
+        assert large.pages() > small.pages()
+
+    def test_table_row_width(self):
+        table = Table("t", 10)
+        table.add_column(Column("a", ColumnType.INT))
+        table.add_column(Column("b", ColumnType.STRING))
+        assert table.row_width == 8 + 32
+
+    def test_missing_column_raises_keyerror_with_context(self):
+        table = Table("t", 10).add_column(Column("a"))
+        with pytest.raises(KeyError, match="no column"):
+            table.column("zzz")
+
+    def test_schema_fk_validation(self, small_schema):
+        with pytest.raises(KeyError):
+            small_schema.add_foreign_key(
+                ForeignKey("orders", "nope", "customer", "c_id")
+            )
+
+    def test_schema_duplicate_table(self, small_schema):
+        with pytest.raises(ValueError):
+            small_schema.add_table(Table("orders", 5))
+
+    def test_fk_between(self, small_schema):
+        fk = small_schema.fk_between("customer", "orders")
+        assert fk is not None
+        assert fk.child_table == "orders"
+        assert small_schema.fk_between("orders", "orders") is None
+
+    def test_join_edges(self, small_schema):
+        assert ("orders", "customer") in small_schema.join_edges()
+
+    def test_len_iter_contains(self, small_schema):
+        assert len(small_schema) == 2
+        assert "orders" in small_schema
+        assert {t.name for t in small_schema} == {"orders", "customer"}
+
+
+class TestHistogram:
+    def test_masses_sum_to_one(self):
+        hist = Histogram(zipf_pmf(1000, 1.0), bucket_count=32)
+        assert sum(b.mass for b in hist.buckets) == pytest.approx(1.0)
+
+    def test_buckets_cover_domain(self):
+        hist = Histogram(zipf_pmf(500, 1.0), bucket_count=16)
+        assert hist.buckets[0].lo == 0
+        assert hist.buckets[-1].hi == 499
+        for prev, cur in zip(hist.buckets, hist.buckets[1:]):
+            assert cur.lo == prev.hi + 1
+
+    def test_eq_head_accurate_under_skew(self):
+        pmf = zipf_pmf(1000, 1.0)
+        hist = Histogram(pmf, bucket_count=32)
+        # The most frequent value sits alone in its bucket.
+        assert hist.eq_selectivity(0) == pytest.approx(pmf[0], rel=0.01)
+
+    def test_eq_out_of_domain_is_zero(self):
+        hist = Histogram(zipf_pmf(100, 1.0))
+        assert hist.eq_selectivity(-1) == 0.0
+        assert hist.eq_selectivity(100) == 0.0
+
+    def test_range_full_domain_is_one(self):
+        hist = Histogram(zipf_pmf(100, 1.0))
+        assert hist.range_selectivity(0, 99) == pytest.approx(1.0)
+
+    def test_range_empty(self):
+        hist = Histogram(zipf_pmf(100, 1.0))
+        assert hist.range_selectivity(50, 40) == 0.0
+
+    def test_range_monotone_in_width(self):
+        hist = Histogram(zipf_pmf(1000, 1.0))
+        narrow = hist.range_selectivity(100, 200)
+        wide = hist.range_selectivity(100, 500)
+        assert wide >= narrow
+
+    def test_uniform_histogram_exact(self):
+        pmf = zipf_pmf(128, 0.0)
+        hist = Histogram(pmf, bucket_count=16)
+        assert hist.eq_selectivity(64) == pytest.approx(1 / 128, rel=0.05)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Histogram(np.array([]))
+
+    @given(
+        n=st.integers(2, 300),
+        theta=st.floats(0.0, 2.0),
+        buckets=st.integers(1, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_mass_conservation(self, n, theta, buckets):
+        hist = Histogram(zipf_pmf(n, theta), bucket_count=buckets)
+        assert sum(b.mass for b in hist.buckets) == pytest.approx(1.0)
+        assert hist.range_selectivity(0, n - 1) == pytest.approx(1.0)
+
+
+class TestStatistics:
+    def test_exact_vs_estimated_eq(self, small_schema):
+        stats = StatisticsCatalog(small_schema)
+        col = stats.column("customer", "c_region")
+        # The head value always sits alone in its equi-depth bucket.
+        assert col.estimate_eq(0) == pytest.approx(col.exact_eq(0))
+        # Bucket-level mass is conserved even where values share buckets.
+        total_estimated = sum(col.estimate_eq(v) for v in range(5))
+        assert total_estimated == pytest.approx(1.0, rel=1e-6)
+
+    def test_exact_range_matches_cdf(self, small_schema):
+        stats = StatisticsCatalog(small_schema)
+        col = stats.column("orders", "o_cust")
+        assert col.exact_range(0, col.distinct_count - 1) == pytest.approx(
+            1.0
+        )
+        assert col.exact_range(10, 5) == 0.0
+
+    def test_estimate_in(self, small_schema):
+        stats = StatisticsCatalog(small_schema)
+        col = stats.column("customer", "c_region")
+        both = col.estimate_in([0, 1])
+        assert both == pytest.approx(
+            col.estimate_eq(0) + col.estimate_eq(1)
+        )
+        # Duplicates are counted once.
+        assert col.estimate_in([0, 0]) == pytest.approx(col.estimate_eq(0))
+
+    def test_lazy_build(self, small_schema):
+        stats = StatisticsCatalog(small_schema)
+        assert not stats._tables
+        stats.table("orders")
+        assert set(stats._tables) == {"orders"}
+
+    def test_missing_column_error(self, small_schema):
+        stats = StatisticsCatalog(small_schema)
+        with pytest.raises(KeyError, match="no statistics"):
+            stats.column("orders", "nope")

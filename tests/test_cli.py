@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.db == "tpcd"
+        assert args.alpha == 0.9
+        assert args.scheme == "delta"
+
+    def test_rejects_unknown_db(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--db", "oracle"])
+
+
+class TestCommands:
+    def test_generate(self, tmp_path, capsys):
+        out = str(tmp_path / "wl.db")
+        code = main([
+            "generate", "--db", "tpcd", "--size", "80", "--out", out,
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "wrote 80 statements" in captured
+        assert (tmp_path / "wl.db").exists()
+
+    def test_compare_with_verify(self, capsys):
+        code = main([
+            "compare", "--db", "tpcd", "--size", "400", "--k", "4",
+            "--seed", "1", "--verify",
+        ])
+        out = capsys.readouterr().out
+        assert "Pr(CS)" in out
+        assert "optimizer calls" in out
+        assert code in (0, 1)  # 1 only if the selection missed
+
+    def test_compare_tournament(self, capsys):
+        code = main([
+            "compare", "--db", "tpcd", "--size", "400", "--k", "4",
+            "--seed", "2", "--tournament",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tournament winner" in out
+        assert "guarantee" in out
+
+    def test_tune_by_cost(self, capsys):
+        code = main([
+            "tune", "--db", "tpcd", "--size", "200",
+            "--compress", "by_cost", "--param", "0.3",
+            "--max-structures", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full-workload improvement" in out
+
+    def test_tune_random(self, capsys):
+        code = main([
+            "tune", "--db", "tpcd", "--size", "200",
+            "--compress", "random", "--param", "40",
+            "--max-structures", "2",
+        ])
+        assert code == 0
+
+    def test_profile(self, capsys):
+        code = main(["profile", "--db", "tpcd", "--size", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload profile" in out
+        assert "top templates by cost share" in out
+        assert "templates for 50% of cost" in out
+
+    def test_explain(self, capsys):
+        code = main([
+            "explain", "--db", "tpcd", "--size", "30", "--query", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- current (no structures):" in out
+        assert "-- ideal configuration:" in out
+        assert "Plan" in out
+
+    def test_explain_out_of_range(self, capsys):
+        code = main([
+            "explain", "--db", "tpcd", "--size", "10", "--query", "99",
+        ])
+        assert code == 2

@@ -1,0 +1,146 @@
+"""Tests for the workload-compression baselines (§2, §7.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CompressedWorkload,
+    compress_by_clustering,
+    compress_by_cost,
+    compress_random,
+    pairwise_distance_count,
+)
+
+
+@pytest.fixture
+def skewed_costs(rng):
+    """1000 queries over 5 templates; template 0 is far more expensive."""
+    template_ids = rng.integers(0, 5, size=1000)
+    level = np.array([5000.0, 10.0, 12.0, 8.0, 20.0])[template_ids]
+    costs = level * np.exp(rng.normal(0, 0.2, size=1000))
+    return costs, template_ids
+
+
+class TestCompressedWorkload:
+    def test_weighted_total(self):
+        cw = CompressedWorkload(
+            indices=np.array([0, 2]),
+            weights=np.array([2.0, 3.0]),
+            method="test",
+        )
+        costs = np.array([10.0, 99.0, 20.0])
+        assert cw.weighted_total(costs) == pytest.approx(2 * 10 + 3 * 20)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CompressedWorkload(
+                indices=np.array([0]), weights=np.array([1.0, 2.0]),
+                method="bad",
+            )
+
+
+class TestByCost:
+    def test_covers_requested_fraction(self, skewed_costs):
+        costs, _ = skewed_costs
+        cw = compress_by_cost(costs, 0.2)
+        assert costs[cw.indices].sum() >= 0.2 * costs.sum()
+
+    def test_minimal_prefix(self, skewed_costs):
+        costs, _ = skewed_costs
+        cw = compress_by_cost(costs, 0.2)
+        # Dropping the last retained query must fall below the target.
+        assert costs[cw.indices[:-1]].sum() < 0.2 * costs.sum()
+
+    def test_selects_most_expensive(self, skewed_costs):
+        costs, _ = skewed_costs
+        cw = compress_by_cost(costs, 0.1)
+        cheapest_kept = costs[cw.indices].min()
+        dropped = np.setdiff1d(np.arange(len(costs)), cw.indices)
+        assert costs[dropped].max() <= cheapest_kept + 1e-9
+
+    def test_template_blindness(self, skewed_costs):
+        """The §7.3 failure mode: only the expensive template survives."""
+        costs, template_ids = skewed_costs
+        cw = compress_by_cost(costs, 0.2)
+        kept_templates = set(template_ids[cw.indices])
+        assert kept_templates == {0}
+
+    def test_full_fraction_keeps_everything(self, skewed_costs):
+        costs, _ = skewed_costs
+        cw = compress_by_cost(costs, 1.0)
+        assert cw.size == len(costs)
+
+    def test_validation(self, skewed_costs):
+        costs, _ = skewed_costs
+        with pytest.raises(ValueError):
+            compress_by_cost(costs, 0.0)
+        with pytest.raises(ValueError):
+            compress_by_cost(np.array([]), 0.5)
+
+
+class TestClustering:
+    def test_weights_sum_to_workload(self, skewed_costs):
+        costs, template_ids = skewed_costs
+        cw = compress_by_clustering(costs, template_ids, 50)
+        assert cw.weights.sum() == pytest.approx(len(costs))
+
+    def test_every_template_represented(self, skewed_costs):
+        costs, template_ids = skewed_costs
+        cw = compress_by_clustering(costs, template_ids, 20)
+        assert set(template_ids[cw.indices]) == set(template_ids)
+
+    def test_weighted_total_close_to_truth(self, skewed_costs):
+        costs, template_ids = skewed_costs
+        cw = compress_by_clustering(costs, template_ids, 100)
+        assert cw.weighted_total(costs) == pytest.approx(
+            costs.sum(), rel=0.15
+        )
+
+    def test_exhaustive_ops_grow_quadratically(self, rng):
+        # With the cluster count scaling with the workload (a fixed
+        # compression ratio), exhaustive k-center preprocessing grows
+        # ~quadratically in N — the "up to O(|WL|^2) distance
+        # computations" of §7.3.
+        def ops(n: int) -> int:
+            template_ids = np.zeros(n, dtype=int)
+            costs = np.exp(rng.normal(3, 1, size=n))
+            return compress_by_clustering(
+                costs, template_ids, n // 5, exhaustive=True
+            ).preprocessing_operations
+
+        small, large = ops(500), ops(2000)
+        assert large > 8 * small  # 4x data -> ~16x ops
+
+    def test_pairwise_distance_count(self):
+        assert pairwise_distance_count(10) == 45
+
+    def test_validation(self, skewed_costs):
+        costs, template_ids = skewed_costs
+        with pytest.raises(ValueError):
+            compress_by_clustering(costs, template_ids, 0)
+        with pytest.raises(ValueError):
+            compress_by_clustering(costs, template_ids[:-1], 10)
+
+
+class TestRandom:
+    def test_unbiased_weights(self, rng):
+        cw = compress_random(1000, 100, rng)
+        assert cw.size == 100
+        assert cw.weights[0] == pytest.approx(10.0)
+        assert len(set(cw.indices.tolist())) == 100
+
+    def test_estimates_total_unbiased(self, skewed_costs, rng):
+        costs, _ = skewed_costs
+        estimates = [
+            compress_random(len(costs), 200, rng).weighted_total(costs)
+            for _ in range(200)
+        ]
+        assert np.mean(estimates) == pytest.approx(costs.sum(), rel=0.05)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            compress_random(10, 0, rng)
+        with pytest.raises(ValueError):
+            compress_random(10, 11, rng)

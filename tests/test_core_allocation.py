@@ -1,0 +1,134 @@
+"""Tests for the next-sample selection policies (§5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import pick_delta_stratum, pick_independent, \
+    variance_reduction
+
+
+class TestVarianceReduction:
+    def test_positive_for_sampled_stratum(self):
+        assert variance_reduction(100.0, 4.0, 10) > 0
+
+    def test_zero_when_variance_zero(self):
+        assert variance_reduction(100.0, 0.0, 10) == 0.0
+
+    def test_zero_when_exhausted(self):
+        assert variance_reduction(100.0, 4.0, 100) == 0.0
+
+    def test_infinite_for_unsampled(self):
+        assert variance_reduction(100.0, 4.0, 0) == float("inf")
+
+    def test_decreasing_in_n(self):
+        r_small = variance_reduction(1000.0, 4.0, 5)
+        r_large = variance_reduction(1000.0, 4.0, 50)
+        assert r_small > r_large
+
+    def test_matches_closed_form(self):
+        size, s2, n = 100.0, 9.0, 10
+        current = size * size * s2 / n * (1 - n / size)
+        nxt = size * size * s2 / (n + 1) * (1 - (n + 1) / size)
+        assert variance_reduction(size, s2, n) == pytest.approx(
+            current - nxt
+        )
+
+
+class TestPickIndependent:
+    def test_prefers_high_variance_stratum(self):
+        sizes = np.array([100, 100])
+        pick = pick_independent(
+            sizes,
+            stratum_vars=[np.array([1.0, 100.0])],
+            stratum_counts=[np.array([10, 10])],
+            exhausted=[np.array([False, False])],
+        )
+        assert pick == (0, 1)
+
+    def test_prefers_starved_configuration(self):
+        sizes = np.array([100])
+        pick = pick_independent(
+            sizes,
+            stratum_vars=[np.array([4.0]), np.array([4.0])],
+            stratum_counts=[np.array([50]), np.array([5])],
+            exhausted=[np.array([False]), np.array([False])],
+        )
+        assert pick == (1, 0)
+
+    def test_skips_exhausted(self):
+        sizes = np.array([100, 100])
+        pick = pick_independent(
+            sizes,
+            stratum_vars=[np.array([100.0, 1.0])],
+            stratum_counts=[np.array([100, 10])],
+            exhausted=[np.array([True, False])],
+        )
+        assert pick == (0, 1)
+
+    def test_none_when_all_exhausted(self):
+        pick = pick_independent(
+            np.array([10]),
+            stratum_vars=[np.array([1.0])],
+            stratum_counts=[np.array([10])],
+            exhausted=[np.array([True])],
+        )
+        assert pick is None
+
+    def test_overheads_divide_scores(self):
+        sizes = np.array([100, 100])
+        # Equal variances, but stratum 1 is 100x more expensive to
+        # evaluate: pick stratum 0.
+        pick = pick_independent(
+            sizes,
+            stratum_vars=[np.array([10.0, 10.0])],
+            stratum_counts=[np.array([10, 10])],
+            exhausted=[np.array([False, False])],
+            overheads=[np.array([1.0, 100.0])],
+        )
+        assert pick == (0, 0)
+
+
+class TestPickDeltaStratum:
+    def test_sums_over_pairs(self):
+        sizes = np.array([100, 100])
+        # Pair A favours stratum 0, pair B strongly favours stratum 1.
+        pick = pick_delta_stratum(
+            sizes,
+            pair_stratum_vars=[
+                np.array([10.0, 1.0]),
+                np.array([1.0, 500.0]),
+            ],
+            stratum_counts=np.array([10, 10]),
+            exhausted=np.array([False, False]),
+        )
+        assert pick == 1
+
+    def test_skips_exhausted(self):
+        pick = pick_delta_stratum(
+            np.array([100, 100]),
+            pair_stratum_vars=[np.array([100.0, 1.0])],
+            stratum_counts=np.array([100, 10]),
+            exhausted=np.array([True, False]),
+        )
+        assert pick == 1
+
+    def test_none_when_exhausted(self):
+        pick = pick_delta_stratum(
+            np.array([10]),
+            pair_stratum_vars=[np.array([1.0])],
+            stratum_counts=np.array([10]),
+            exhausted=np.array([True]),
+        )
+        assert pick is None
+
+    def test_overheads(self):
+        pick = pick_delta_stratum(
+            np.array([100, 100]),
+            pair_stratum_vars=[np.array([10.0, 10.0])],
+            stratum_counts=np.array([10, 10]),
+            exhausted=np.array([False, False]),
+            overheads=np.array([100.0, 1.0]),
+        )
+        assert pick == 1

@@ -1,0 +1,118 @@
+"""Tests for Pr(CS) computation, Bonferroni and target variances."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import norm
+
+from repro.core import (
+    bonferroni,
+    pair_target_variance,
+    pairwise_prcs,
+    per_pair_alpha,
+)
+
+
+class TestPairwisePrcs:
+    def test_zero_gap_zero_delta_is_half(self):
+        assert pairwise_prcs(0.0, 1.0, 0.0) == pytest.approx(0.5)
+
+    def test_positive_gap_above_half(self):
+        assert pairwise_prcs(1.0, 1.0, 0.0) > 0.5
+
+    def test_grows_with_gap(self):
+        assert pairwise_prcs(2.0, 1.0) > pairwise_prcs(1.0, 1.0)
+
+    def test_grows_with_delta(self):
+        assert pairwise_prcs(1.0, 1.0, delta=1.0) > pairwise_prcs(
+            1.0, 1.0, delta=0.0
+        )
+
+    def test_shrinking_variance_sharpens(self):
+        assert pairwise_prcs(1.0, 0.01) > pairwise_prcs(1.0, 100.0)
+
+    def test_zero_variance_exact(self):
+        assert pairwise_prcs(1.0, 0.0) == 1.0
+        assert pairwise_prcs(-1.0, 0.0) == 0.0
+        assert pairwise_prcs(0.0, 0.0) == 0.5
+
+    def test_infinite_variance_no_confidence(self):
+        assert pairwise_prcs(5.0, float("inf")) == 0.0
+
+    def test_matches_normal_cdf(self):
+        assert pairwise_prcs(3.0, 4.0, 1.0) == pytest.approx(
+            norm.cdf((3.0 + 1.0) / 2.0)
+        )
+
+    @given(
+        gap=st.floats(-100, 100),
+        var=st.floats(1e-6, 1e6),
+        delta=st.floats(0, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_always_probability(self, gap, var, delta):
+        p = pairwise_prcs(gap, var, delta)
+        assert 0.0 <= p <= 1.0
+
+
+class TestBonferroni:
+    def test_empty_is_certain(self):
+        assert bonferroni([]) == 1.0
+
+    def test_single_passthrough(self):
+        assert bonferroni([0.9]) == pytest.approx(0.9)
+
+    def test_sum_rule(self):
+        assert bonferroni([0.95, 0.98]) == pytest.approx(1 - 0.05 - 0.02)
+
+    def test_clamped_at_zero(self):
+        assert bonferroni([0.1, 0.1, 0.1]) == 0.0
+
+    def test_lower_bounds_product(self):
+        """Bonferroni is conservative vs the independence product."""
+        ps = [0.95, 0.9, 0.99]
+        prod = math.prod(ps)
+        assert bonferroni(ps) <= prod
+
+
+class TestPerPairAlpha:
+    def test_two_configs_unchanged(self):
+        assert per_pair_alpha(0.9, 2) == pytest.approx(0.9)
+
+    def test_grows_with_k(self):
+        assert per_pair_alpha(0.9, 10) > per_pair_alpha(0.9, 3)
+
+    def test_combines_back(self):
+        alpha, k = 0.9, 6
+        pair = per_pair_alpha(alpha, k)
+        assert bonferroni([pair] * (k - 1)) == pytest.approx(alpha)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            per_pair_alpha(1.5, 3)
+
+
+class TestPairTargetVariance:
+    def test_inverts_prcs(self):
+        gap, delta, alpha_pair = 10.0, 2.0, 0.95
+        v = pair_target_variance(gap, delta, alpha_pair)
+        assert pairwise_prcs(gap, v, delta) == pytest.approx(
+            alpha_pair, abs=1e-9
+        )
+        assert pairwise_prcs(gap, v * 0.5, delta) > alpha_pair
+
+    def test_zero_margin_impossible(self):
+        assert pair_target_variance(0.0, 0.0, 0.95) == 0.0
+        assert pair_target_variance(-5.0, 1.0, 0.95) == 0.0
+
+    def test_alpha_below_half_always_met(self):
+        assert pair_target_variance(1.0, 0.0, 0.4) == float("inf")
+
+    def test_larger_gap_larger_budget(self):
+        small = pair_target_variance(1.0, 0.0, 0.9)
+        large = pair_target_variance(10.0, 0.0, 0.9)
+        assert large > small

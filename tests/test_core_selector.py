@@ -1,0 +1,287 @@
+"""End-to-end tests of the selection procedure (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigurationSelector,
+    MatrixCostSource,
+    OptimizerCostSource,
+    SelectorOptions,
+)
+from repro.core.progressive import propose_split
+from repro.core.stratification import Stratification
+
+
+def make_population(
+    rng: np.random.Generator,
+    n: int = 1500,
+    k: int = 3,
+    templates: int = 8,
+    rel_gaps=(0.0, 0.06, 0.12),
+):
+    """Heavy-tailed template costs, strongly correlated across configs."""
+    template_ids = rng.integers(0, templates, size=n)
+    base = np.exp(rng.normal(3, 2, size=templates))[template_ids]
+    base = base * np.exp(rng.normal(0, 0.3, size=n))
+    matrix = np.empty((n, k))
+    for c in range(k):
+        noise = np.exp(rng.normal(0, 0.1, size=n))
+        matrix[:, c] = base * (1.0 + rel_gaps[c]) * noise
+    return template_ids, matrix
+
+
+class TestSelectorBasics:
+    @pytest.mark.parametrize("scheme", ["delta", "independent"])
+    @pytest.mark.parametrize("stratify", ["none", "progressive", "fine"])
+    def test_selects_correctly(self, rng, scheme, stratify):
+        template_ids, matrix = make_population(rng)
+        source = MatrixCostSource(matrix)
+        options = SelectorOptions(
+            alpha=0.9, scheme=scheme, stratify=stratify
+        )
+        result = ConfigurationSelector(
+            source, template_ids, options, rng=rng
+        ).run()
+        assert result.best_index == source.true_best()
+        assert result.prcs > 0.9 or result.terminated_by == "exhausted"
+
+    def test_fewer_calls_than_exhaustive(self, rng):
+        template_ids, matrix = make_population(rng)
+        source = MatrixCostSource(matrix)
+        result = ConfigurationSelector(
+            source, template_ids, SelectorOptions(alpha=0.9), rng=rng
+        ).run()
+        assert result.optimizer_calls < matrix.size
+
+    def test_delta_cheaper_than_independent(self, rng):
+        """§4.2: Delta Sampling needs fewer calls on correlated costs."""
+        template_ids, matrix = make_population(rng)
+        calls = {}
+        for scheme in ("delta", "independent"):
+            source = MatrixCostSource(matrix)
+            result = ConfigurationSelector(
+                source, template_ids,
+                SelectorOptions(alpha=0.9, scheme=scheme, stratify="none",
+                                consecutive=5),
+                rng=np.random.default_rng(77),
+            ).run()
+            calls[scheme] = result.optimizer_calls
+        assert calls["delta"] < calls["independent"]
+
+    def test_history_recorded(self, rng):
+        template_ids, matrix = make_population(rng)
+        source = MatrixCostSource(matrix)
+        result = ConfigurationSelector(
+            source, template_ids, SelectorOptions(alpha=0.9), rng=rng
+        ).run()
+        assert len(result.history) >= 1
+        calls, prcs = result.history[-1]
+        assert 0 <= prcs <= 1
+
+    def test_estimates_close_to_truth(self, rng):
+        template_ids, matrix = make_population(rng)
+        source = MatrixCostSource(matrix)
+        result = ConfigurationSelector(
+            source, template_ids, SelectorOptions(alpha=0.95), rng=rng
+        ).run()
+        truth = matrix.sum(axis=0)
+        rel_err = np.abs(result.estimates - truth) / truth
+        assert rel_err.max() < 0.25
+
+    def test_template_ids_length_mismatch(self, rng):
+        _tids, matrix = make_population(rng)
+        with pytest.raises(ValueError):
+            ConfigurationSelector(
+                MatrixCostSource(matrix), np.zeros(3), rng=rng
+            )
+
+
+class TestDeltaSensitivity:
+    def test_delta_stops_early_on_near_ties(self, rng):
+        """A large sensitivity lets near-identical configs finish fast."""
+        template_ids = rng.integers(0, 5, size=1000)
+        base = np.abs(rng.lognormal(3, 1.5, 1000))
+        matrix = np.column_stack([base, base * 1.001])  # ~0.1% apart
+        totals = matrix.sum(axis=0)
+        big_delta = float(abs(totals[1] - totals[0]) * 20)
+
+        strict = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids,
+            SelectorOptions(alpha=0.95, delta=0.0, stratify="none",
+                            consecutive=3),
+            rng=np.random.default_rng(5),
+        ).run()
+        lenient = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids,
+            SelectorOptions(alpha=0.95, delta=big_delta, stratify="none",
+                            consecutive=3),
+            rng=np.random.default_rng(5),
+        ).run()
+        assert lenient.optimizer_calls < strict.optimizer_calls
+
+    def test_near_tie_resolved_correctly_on_tiny_workload(self, rng):
+        """Near-identical configs on a tiny workload: the run either
+        exhausts the workload (estimates exact) or converges via the
+        shrinking finite-population correction — and is correct either
+        way."""
+        template_ids = rng.integers(0, 3, size=60)
+        base = np.abs(rng.lognormal(2, 1, 60))
+        matrix = np.column_stack([base, base * 1.0001])
+        result = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids,
+            SelectorOptions(alpha=0.99, stratify="none", consecutive=10),
+            rng=rng,
+        ).run()
+        assert result.terminated_by in ("exhausted", "alpha")
+        assert result.best_index == int(np.argmin(matrix.sum(axis=0)))
+
+
+class TestElimination:
+    def test_clearly_bad_configs_dropped(self, rng):
+        template_ids, matrix = make_population(
+            rng, k=6, rel_gaps=(0.0, 0.5, 0.8, 1.0, 1.5, 2.0)
+        )
+        source = MatrixCostSource(matrix)
+        result = ConfigurationSelector(
+            source, template_ids,
+            SelectorOptions(alpha=0.9, eliminate=True),
+            rng=rng,
+        ).run()
+        assert len(result.eliminated) >= 3
+        assert result.best_index == source.true_best()
+
+    def test_elimination_saves_calls(self, rng):
+        template_ids, matrix = make_population(
+            rng, k=6, rel_gaps=(0.0, 0.5, 0.8, 1.0, 1.5, 2.0)
+        )
+        calls = {}
+        for eliminate in (True, False):
+            source = MatrixCostSource(matrix)
+            result = ConfigurationSelector(
+                source, template_ids,
+                SelectorOptions(alpha=0.9, eliminate=eliminate,
+                                consecutive=10),
+                rng=np.random.default_rng(3),
+            ).run()
+            calls[eliminate] = result.optimizer_calls
+        assert calls[True] <= calls[False]
+
+
+class TestBudget:
+    def test_max_calls_respected(self, rng):
+        template_ids, matrix = make_population(rng)
+        source = MatrixCostSource(matrix)
+        result = ConfigurationSelector(
+            source, template_ids,
+            SelectorOptions(alpha=0.999, max_calls=120,
+                            consecutive=10**9),
+            rng=rng,
+        ).run()
+        assert result.terminated_by == "max_calls"
+        assert result.optimizer_calls <= 120 + matrix.shape[1]
+
+    def test_reeval_batching_same_selection(self, rng):
+        template_ids, matrix = make_population(rng)
+        picks = set()
+        for reeval in (1, 4):
+            source = MatrixCostSource(matrix)
+            result = ConfigurationSelector(
+                source, template_ids,
+                SelectorOptions(alpha=0.9, reeval_every=reeval),
+                rng=np.random.default_rng(11),
+            ).run()
+            picks.add(result.best_index)
+        assert picks == {int(np.argmin(matrix.sum(axis=0)))}
+
+
+class TestProgressiveStratification:
+    def test_split_proposed_on_bimodal_population(self):
+        sizes = np.array([500, 500, 0], dtype=np.int64)[:2]
+        template_sizes = np.array([500, 500], dtype=np.int64)
+        strat = Stratification.single({0: 500, 1: 500})
+        counts = np.array([40, 40])
+        means = np.array([10.0, 1000.0])
+        variances = np.array([4.0, 4.0])
+        decision = propose_split(
+            strat, template_sizes, counts, means, variances,
+            target_var=1e6, n_min=30,
+        )
+        assert decision is not None
+        assert decision.saving > 0
+        assert {decision.left, decision.right} == {(0,), (1,)}
+
+    def test_no_split_on_homogeneous_population(self):
+        template_sizes = np.array([500, 500], dtype=np.int64)
+        strat = Stratification.single({0: 500, 1: 500})
+        counts = np.array([40, 40])
+        means = np.array([10.0, 10.1])
+        variances = np.array([4.0, 4.0])
+        decision = propose_split(
+            strat, template_sizes, counts, means, variances,
+            target_var=1e6, n_min=30,
+        )
+        assert decision is None
+
+    def test_no_split_without_template_estimates(self):
+        template_sizes = np.array([500, 500], dtype=np.int64)
+        strat = Stratification.single({0: 500, 1: 500})
+        counts = np.array([80, 0])  # template 1 never sampled
+        means = np.array([10.0, 0.0])
+        variances = np.array([4.0, 0.0])
+        assert propose_split(
+            strat, template_sizes, counts, means, variances,
+            target_var=1e6, n_min=30,
+        ) is None
+
+    def test_progressive_reduces_calls_on_stratified_population(self, rng):
+        """Progressive stratification must help when templates separate
+        costs sharply (the Figure 1/3 effect)."""
+        n, k = 3000, 2
+        template_ids = rng.integers(0, 6, size=n)
+        level = np.array([1, 10, 100, 1000, 5000, 20000.0])[template_ids]
+        base = level * np.exp(rng.normal(0, 0.2, size=n))
+        matrix = np.column_stack(
+            [base, base * (1 + 0.04 * (level > 100))]
+        )
+        calls = {}
+        for stratify in ("none", "progressive"):
+            source = MatrixCostSource(matrix)
+            result = ConfigurationSelector(
+                source, template_ids,
+                SelectorOptions(alpha=0.9, stratify=stratify,
+                                consecutive=5),
+                rng=np.random.default_rng(21),
+            ).run()
+            calls[stratify] = result.optimizer_calls
+            assert result.best_index == int(np.argmin(matrix.sum(axis=0)))
+        assert calls["progressive"] <= calls["none"]
+
+
+class TestOptimizerSource:
+    def test_live_source_counts_calls(self, optimizer, empty_config,
+                                      indexed_config, rng):
+        from repro.queries import ColumnRef, EqPredicate, Query, QueryType
+        from repro.workload import Workload
+
+        queries = [
+            Query(
+                qtype=QueryType.SELECT, tables=("orders",),
+                filters=(EqPredicate(ColumnRef("orders", "o_id"), i),),
+            )
+            for i in range(300)
+        ]
+        wl = Workload(queries)
+        source = OptimizerCostSource(
+            wl, [empty_config, indexed_config], optimizer
+        )
+        result = ConfigurationSelector(
+            source, wl.template_ids,
+            SelectorOptions(alpha=0.9, n_min=10, consecutive=3),
+            rng=rng,
+        ).run()
+        assert result.best_index == 1  # index helps point lookups
+        assert source.calls == result.optimizer_calls
+        assert source.calls <= 600

@@ -1,0 +1,218 @@
+"""Tests for strata, Neyman allocation and #Samples estimation."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Stratification,
+    allocation_variance,
+    neyman_allocation,
+    samples_needed,
+)
+
+SIZES = {0: 100, 1: 50, 2: 400}
+
+
+class TestStratification:
+    def test_single(self):
+        strat = Stratification.single(SIZES)
+        assert strat.stratum_count == 1
+        assert strat.total_size == 550
+        assert strat.stratum_of(2) == 0
+
+    def test_split(self):
+        strat = Stratification.single(SIZES)
+        split = strat.split(0, [0, 1], [2])
+        assert split.stratum_count == 2
+        assert list(split.sizes) == [150, 400]
+        assert split.stratum_of(2) == 1
+
+    def test_split_validation(self):
+        strat = Stratification.single(SIZES)
+        with pytest.raises(ValueError):
+            strat.split(0, [0], [2])  # loses template 1
+        with pytest.raises(ValueError):
+            strat.split(0, [0, 1, 2], [])
+
+    def test_rejects_duplicate_template(self):
+        with pytest.raises(ValueError):
+            Stratification([(0, 1), (1, 2)], SIZES)
+
+    def test_rejects_uncovered_template(self):
+        with pytest.raises(ValueError):
+            Stratification([(0, 1)], SIZES)
+
+    def test_rejects_unknown_template(self):
+        with pytest.raises(ValueError):
+            Stratification([(0, 1, 2, 9)], SIZES)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Stratification([], SIZES)
+        with pytest.raises(ValueError):
+            Stratification([(), (0, 1, 2)], SIZES)
+
+    def test_stratum_of_unknown(self):
+        strat = Stratification.single(SIZES)
+        with pytest.raises(KeyError):
+            strat.stratum_of(77)
+
+
+class TestNeymanAllocation:
+    def test_proportional_to_size_times_std(self):
+        sizes = np.array([100, 100])
+        stds = np.array([1.0, 3.0])
+        alloc = neyman_allocation(sizes, stds, 40)
+        assert alloc.sum() == 40
+        assert alloc[1] > alloc[0]
+        # ratio roughly 1:3
+        assert alloc[1] == pytest.approx(30, abs=2)
+
+    def test_respects_floors(self):
+        alloc = neyman_allocation(
+            np.array([100, 100]), np.array([0.0, 5.0]), 20,
+            floors=np.array([10, 0]),
+        )
+        assert alloc[0] >= 10
+        assert alloc.sum() == 20
+
+    def test_caps_at_sizes(self):
+        alloc = neyman_allocation(
+            np.array([5, 1000]), np.array([100.0, 0.1]), 500
+        )
+        assert alloc[0] <= 5
+        assert alloc.sum() == 500
+
+    def test_total_capped_at_population(self):
+        alloc = neyman_allocation(
+            np.array([10, 10]), np.array([1.0, 1.0]), 1000
+        )
+        assert alloc.sum() == 20
+
+    def test_zero_variance_falls_back_to_proportional(self):
+        alloc = neyman_allocation(
+            np.array([300, 100]), np.array([0.0, 0.0]), 40
+        )
+        assert alloc.sum() == 40
+        assert alloc[0] > alloc[1]
+
+    @given(
+        sizes=st.lists(st.integers(1, 500), min_size=1, max_size=6),
+        total=st.integers(0, 800),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allocation_invariants(self, sizes, total):
+        sizes = np.array(sizes)
+        stds = np.linspace(0.5, 2.0, len(sizes))
+        alloc = neyman_allocation(sizes, stds, total)
+        assert (alloc >= 0).all()
+        assert (alloc <= sizes).all()
+        assert alloc.sum() == min(total, sizes.sum())
+
+
+class TestAllocationVariance:
+    def test_matches_formula(self):
+        sizes = np.array([100, 200])
+        variances = np.array([4.0, 9.0])
+        alloc = np.array([10, 20])
+        expected = (
+            100**2 * 4.0 / 10 * (1 - 10 / 100)
+            + 200**2 * 9.0 / 20 * (1 - 20 / 200)
+        )
+        assert allocation_variance(sizes, variances, alloc) == \
+            pytest.approx(expected)
+
+    def test_full_sample_zero_variance(self):
+        sizes = np.array([50])
+        assert allocation_variance(
+            sizes, np.array([7.0]), np.array([50])
+        ) == 0.0
+
+    def test_unsampled_stratum_infinite(self):
+        assert allocation_variance(
+            np.array([10, 10]), np.array([1.0, 1.0]), np.array([5, 0])
+        ) == float("inf")
+
+    def test_zero_variance_stratum_free(self):
+        assert allocation_variance(
+            np.array([10]), np.array([0.0]), np.array([0])
+        ) == 0.0
+
+    def test_neyman_near_optimal(self):
+        """Neyman allocation is within integer-rounding slack of the
+        best integer allocation of eq. 5."""
+        sizes = np.array([60, 40])
+        variances = np.array([1.0, 25.0])
+        total = 20
+        neyman = neyman_allocation(sizes, np.sqrt(variances), total)
+        ours = allocation_variance(sizes, variances, neyman)
+        best = min(
+            allocation_variance(
+                sizes, variances, np.array([n0, total - n0])
+            )
+            for n0 in range(1, total)
+            if n0 <= sizes[0] and total - n0 <= sizes[1]
+        )
+        assert ours <= best * 1.02
+
+
+class TestSamplesNeeded:
+    def test_monotone_in_target(self):
+        sizes = np.array([500, 500])
+        variances = np.array([100.0, 400.0])
+        loose = samples_needed(sizes, variances, 1e9)
+        tight = samples_needed(sizes, variances, 1e6)
+        assert tight >= loose
+
+    def test_reaches_target(self):
+        sizes = np.array([500, 500])
+        variances = np.array([100.0, 400.0])
+        target = 1e7
+        n = samples_needed(sizes, variances, target)
+        alloc = neyman_allocation(
+            sizes, np.sqrt(variances), n, floors=np.ones(2, dtype=int)
+        )
+        assert allocation_variance(sizes, variances, alloc) <= target
+
+    def test_minimality(self):
+        sizes = np.array([500, 500])
+        variances = np.array([100.0, 400.0])
+        target = 1e7
+        n = samples_needed(sizes, variances, target)
+        if n > 2:
+            alloc = neyman_allocation(
+                sizes, np.sqrt(variances), n - 1,
+                floors=np.ones(2, dtype=int),
+            )
+            assert allocation_variance(sizes, variances, alloc) > target
+
+    def test_full_population_when_unreachable(self):
+        sizes = np.array([10])
+        variances = np.array([1e12])
+        assert samples_needed(sizes, variances, 1e-9) == 10
+
+    def test_respects_floors(self):
+        sizes = np.array([100, 100])
+        variances = np.array([1.0, 1.0])
+        n = samples_needed(
+            sizes, variances, 1e9, floors=np.array([30, 30])
+        )
+        assert n >= 60
+
+    def test_stratification_helps(self):
+        """Splitting a bimodal stratum reduces the needed sample size."""
+        # One stratum with huge pooled variance...
+        coarse = samples_needed(
+            np.array([1000]), np.array([10_000.0]), 1e8
+        )
+        # ...vs two homogeneous strata (between-variance removed).
+        fine = samples_needed(
+            np.array([500, 500]), np.array([100.0, 100.0]), 1e8
+        )
+        assert fine < coarse

@@ -1,0 +1,75 @@
+"""Tests for CostBounder's index-only mode and interval tightness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds import CostBounder
+from repro.optimizer import WhatIfOptimizer
+from repro.physical import base_configuration, build_pool, \
+    enumerate_configurations
+from repro.workload import generate_tpcd_workload, tpcd_schema
+
+
+@pytest.fixture(scope="module")
+def index_only_space():
+    schema = tpcd_schema(0.05)
+    workload = generate_tpcd_workload(150, seed=33, schema=schema)
+    optimizer = WhatIfOptimizer(schema)
+    pool = build_pool(workload.queries[:80], optimizer,
+                      include_views=False)
+    configs = enumerate_configurations(
+        pool, 4, np.random.default_rng(2), index_only=True
+    )
+    return schema, workload, optimizer, configs
+
+
+class TestIndexOnlyBounds:
+    def test_tighter_than_view_aware(self, index_only_space):
+        schema, workload, optimizer, configs = index_only_space
+        base = base_configuration(configs)
+        union = configs[0]
+        for cfg in configs[1:]:
+            union = union.union(cfg)
+        wide = CostBounder(optimizer, workload, base, union,
+                           index_only=False).universal_intervals()
+        tight = CostBounder(optimizer, workload, base, union,
+                            index_only=True).universal_intervals()
+        assert tight.widths().sum() <= wide.widths().sum()
+
+    def test_still_contains_costs(self, index_only_space):
+        schema, workload, optimizer, configs = index_only_space
+        base = base_configuration(configs)
+        union = configs[0]
+        for cfg in configs[1:]:
+            union = union.union(cfg)
+        bounder = CostBounder(optimizer, workload, base, union,
+                              index_only=True)
+        intervals = bounder.universal_intervals()
+        for cfg in configs:
+            costs = workload.cost_vector(optimizer, cfg.union(base))
+            assert intervals.contains(costs, atol=1e-6)
+
+    def test_widths_drive_dp_states(self, index_only_space):
+        """Tighter intervals mean a smaller DP state space for the same
+        rho — the §6 practicality argument."""
+        from repro.bounds import max_variance_bound
+
+        schema, workload, optimizer, configs = index_only_space
+        base = base_configuration(configs)
+        union = configs[0]
+        for cfg in configs[1:]:
+            union = union.union(cfg)
+        wide = CostBounder(optimizer, workload, base, union,
+                           index_only=False).universal_intervals()
+        tight = CostBounder(optimizer, workload, base, union,
+                            index_only=True).universal_intervals()
+        rho = max(1.0, float(np.median(wide.highs)) / 100)
+        states_wide = max_variance_bound(
+            wide.lows, wide.highs, rho
+        ).states
+        states_tight = max_variance_bound(
+            tight.lows, tight.highs, rho
+        ).states
+        assert states_tight <= states_wide

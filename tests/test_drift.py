@@ -1,0 +1,133 @@
+"""Tests for workload drift simulation and ranking stability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries import ColumnRef, QueryType
+from repro.workload import WorkloadGenerator
+from repro.workload.drift import (
+    DriftReport,
+    drifting_workload,
+    ranking_stability,
+    window_totals,
+)
+from repro.workload.generator import FilterSlot, QueryTemplate
+
+
+@pytest.fixture
+def two_template_generator(small_schema):
+    lookup = QueryTemplate(
+        name="lookup", qtype=QueryType.SELECT, tables=("orders",),
+        slots=(FilterSlot(ColumnRef("orders", "o_id"), "eq"),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+    datescan = QueryTemplate(
+        name="datescan", qtype=QueryType.SELECT, tables=("orders",),
+        slots=(FilterSlot(ColumnRef("orders", "o_date"), "range",
+                          min_frac=0.001, max_frac=0.01),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+    return WorkloadGenerator(small_schema, [lookup, datescan])
+
+
+class TestDriftingWorkload:
+    def test_mix_shifts_head_to_tail(self, two_template_generator, rng):
+        wl = drifting_workload(
+            two_template_generator, 600, [1.0, 0.0], [0.0, 1.0], rng
+        )
+        head = wl.template_ids[:60]
+        tail = wl.template_ids[-60:]
+        # Head is dominated by one template, tail by the other (the
+        # linear drift leaves a small admixture near the edges).
+        head_mode = np.bincount(head).argmax()
+        tail_mode = np.bincount(tail).argmax()
+        assert (head == head_mode).mean() > 0.85
+        assert (tail == tail_mode).mean() > 0.85
+        assert head_mode != tail_mode
+
+    def test_constant_weights_no_drift(self, two_template_generator,
+                                       rng):
+        wl = drifting_workload(
+            two_template_generator, 400, [1.0, 1.0], [1.0, 1.0], rng
+        )
+        share_head = (wl.template_ids[:200] == 0).mean()
+        share_tail = (wl.template_ids[200:] == 0).mean()
+        assert abs(share_head - share_tail) < 0.15
+
+    def test_validation(self, two_template_generator, rng):
+        with pytest.raises(ValueError):
+            drifting_workload(
+                two_template_generator, 10, [1.0], [0.5, 0.5], rng
+            )
+        with pytest.raises(ValueError):
+            drifting_workload(
+                two_template_generator, 10, [0.0, 0.0], [1.0, 0.0], rng
+            )
+        with pytest.raises(ValueError):
+            drifting_workload(
+                two_template_generator, 0, [1, 0], [0, 1], rng
+            )
+
+
+class TestWindowAnalysis:
+    def test_window_totals_shape_and_sum(
+        self, two_template_generator, optimizer, empty_config,
+        indexed_config, rng,
+    ):
+        wl = drifting_workload(
+            two_template_generator, 100, [1, 0], [0, 1], rng
+        )
+        costs = window_totals(
+            wl, optimizer, [empty_config, indexed_config], windows=4
+        )
+        assert costs.shape == (4, 2)
+        total = wl.total_cost(optimizer, empty_config)
+        assert costs[:, 0].sum() == pytest.approx(total)
+
+    def test_drift_flips_the_winner(
+        self, two_template_generator, optimizer, rng
+    ):
+        """A trace drifting from lookups to scans flips which index
+        configuration wins."""
+        from repro.physical import Configuration, Index
+
+        lookup_cfg = Configuration(
+            [Index("orders", ("o_id",), ("o_total",))], name="for-lookups"
+        )
+        scan_cfg = Configuration(
+            [Index("orders", ("o_date",), ("o_total",))],
+            name="for-datescans",
+        )
+        wl = drifting_workload(
+            two_template_generator, 300, [1, 0], [0, 1], rng
+        )
+        costs = window_totals(
+            wl, optimizer, [lookup_cfg, scan_cfg], windows=5
+        )
+        report = ranking_stability(costs)
+        assert report.head_choice == 0
+        assert report.drifted
+        assert report.per_window_best[-1] == 1
+        assert report.final_regret > 0
+
+    def test_stable_without_drift(
+        self, two_template_generator, optimizer, empty_config, rng
+    ):
+        from repro.physical import Configuration, Index
+
+        cfg = Configuration([Index("orders", ("o_id",), ("o_total",))])
+        wl = drifting_workload(
+            two_template_generator, 200, [1, 0], [1, 0], rng
+        )
+        costs = window_totals(wl, optimizer, [cfg, empty_config],
+                              windows=4)
+        report = ranking_stability(costs)
+        assert not report.drifted
+        assert report.stable_windows == 4
+        assert report.final_regret == pytest.approx(0.0)
+
+    def test_ranking_stability_validation(self):
+        with pytest.raises(ValueError):
+            ranking_stability(np.zeros(5))

@@ -1,0 +1,67 @@
+"""Tests for the textual EXPLAIN renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer import explain_plan
+from repro.physical import Configuration, Index, MaterializedView
+from repro.queries import (
+    Aggregate,
+    ColumnRef,
+    JoinPredicate,
+    Query,
+    QueryType,
+)
+
+
+class TestExplain:
+    def test_single_table(self, optimizer, point_query, empty_config):
+        text = explain_plan(optimizer.plan(point_query, empty_config))
+        assert text.startswith("Plan")
+        assert "HeapScan orders" in text
+
+    def test_index_seek_shown(self, optimizer, point_query,
+                              indexed_config):
+        text = explain_plan(optimizer.plan(point_query, indexed_config))
+        assert "IndexSeek orders via ix_orders_o_id" in text
+
+    def test_join_methods_shown(self, optimizer, join_query,
+                                empty_config):
+        text = explain_plan(optimizer.plan(join_query, empty_config))
+        assert "HashJoin" in text or "IndexNestedLoop" in text
+        assert "customer" in text and "orders" in text
+
+    def test_aggregate_and_sort_lines(self, optimizer, empty_config):
+        q = Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            group_by=(ColumnRef("orders", "o_status"),),
+            aggregates=(Aggregate("COUNT", None),),
+            order_by=(ColumnRef("orders", "o_status"),),
+        )
+        text = explain_plan(optimizer.plan(q, empty_config))
+        assert "Aggregate" in text
+        assert "Sort" in text
+
+    def test_view_scan_shown(self, optimizer):
+        jp = JoinPredicate(
+            ColumnRef("orders", "o_cust"), ColumnRef("customer", "c_id")
+        )
+        view = MaterializedView(
+            ("orders", "customer"), (jp,),
+            group_by=(ColumnRef("customer", "c_region"),),
+            aggregates=(Aggregate("COUNT", None),),
+        )
+        q = Query(
+            qtype=QueryType.SELECT, tables=("orders", "customer"),
+            join_predicates=(jp,),
+            group_by=(ColumnRef("customer", "c_region"),),
+            aggregates=(Aggregate("COUNT", None),),
+        )
+        plan = optimizer.plan(q, Configuration([], [view]))
+        assert plan.view == view
+        assert f"ViewScan {view.name}" in explain_plan(plan)
+
+    def test_costs_formatted(self, optimizer, join_query, empty_config):
+        text = explain_plan(optimizer.plan(join_query, empty_config))
+        assert "cost=" in text and "rows=" in text

@@ -1,0 +1,150 @@
+"""Tests for figure export/rendering and workload profiling."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments import ascii_chart, write_series_csv
+from repro.queries import ColumnRef, EqPredicate, Query, QueryType
+from repro.workload import Workload, profile_workload
+
+
+class TestWriteSeriesCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "fig.csv", "calls", [10, 20],
+            {"delta": [0.5, 0.9], "independent": [0.4, 0.6]},
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["calls", "delta", "independent"]
+        assert rows[1] == ["10", "0.5", "0.4"]
+        assert len(rows) == 3
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "deep" / "dir" / "fig.csv", "x", [1],
+            {"s": [0.1]},
+        )
+        assert path.exists()
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(
+                tmp_path / "bad.csv", "x", [1, 2], {"s": [0.1]}
+            )
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart(
+            [0, 100], {"a": [0.0, 1.0], "b": [1.0, 0.0]},
+            width=20, height=5,
+        )
+        assert "o = a" in out and "x = b" in out
+        assert "o" in out.splitlines()[0] or "o" in out  # plotted
+
+    def test_extremes_hit_edges(self):
+        out = ascii_chart([0, 10], {"s": [0.0, 1.0]}, width=11,
+                          height=5).splitlines()
+        top_row = out[0]
+        bottom_row = out[4]
+        assert top_row.rstrip().endswith("o")     # y=1 at x=max
+        assert "o" in bottom_row                  # y=0 at x=min
+
+    def test_out_of_range_clamped(self):
+        out = ascii_chart([0, 1], {"s": [-5.0, 5.0]}, width=10,
+                          height=4)
+        assert "o" in out  # no crash, clamped into the grid
+
+    def test_title_and_axis_labels(self):
+        out = ascii_chart([5, 50], {"s": [0.5, 0.5]}, title="Figure X")
+        assert out.splitlines()[0] == "Figure X"
+        assert "5" in out and "50" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [1.0]}, y_min=1.0, y_max=1.0)
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1.0]})
+
+
+def _point(i: int) -> Query:
+    return Query(
+        qtype=QueryType.SELECT, tables=("orders",),
+        filters=(EqPredicate(ColumnRef("orders", "o_id"), i),),
+    )
+
+
+def _update(i: int) -> Query:
+    return Query(
+        qtype=QueryType.UPDATE, tables=("orders",),
+        filters=(EqPredicate(ColumnRef("orders", "o_id"), i),),
+        set_columns=(ColumnRef("orders", "o_total"),),
+    )
+
+
+class TestProfileWorkload:
+    def test_basic_shape(self):
+        wl = Workload([_point(i) for i in range(8)] + [_update(1),
+                                                       _update(2)])
+        costs = np.array([1.0] * 8 + [100.0, 100.0])
+        profile = profile_workload(wl, costs)
+        assert profile.size == 10
+        assert profile.template_count == 2
+        assert profile.dml_fraction == pytest.approx(0.2)
+        assert profile.total_cost == pytest.approx(208.0)
+        # updates dominate cost: the top template is the update one
+        assert profile.top_templates[0].cost_share > 0.9
+        assert profile.templates_for_half_cost == 1
+
+    def test_heavy_tail_detection(self):
+        wl = Workload([_point(i) for i in range(200)])
+        flat = np.ones(200)
+        skewed = np.ones(200)
+        skewed[:2] = 10_000.0
+        assert not profile_workload(wl, flat).heavy_tailed()
+        assert profile_workload(wl, skewed).heavy_tailed()
+
+    def test_without_costs(self):
+        wl = Workload([_point(1), _update(2)])
+        profile = profile_workload(wl)
+        assert profile.total_cost == 0.0
+        assert profile.cost_skewness == 0.0
+        # ordered by count instead
+        assert profile.top_templates[0].count == 1
+
+    def test_template_cv(self):
+        wl = Workload([_point(i) for i in range(4)])
+        costs = np.array([1.0, 1.0, 1.0, 101.0])
+        profile = profile_workload(wl, costs)
+        assert profile.top_templates[0].cv > 0.5
+
+    def test_validation(self):
+        wl = Workload([_point(1)])
+        with pytest.raises(ValueError):
+            profile_workload(wl, np.array([1.0, 2.0]))
+
+    def test_real_workload_cost_concentration(self):
+        """On TPC-D, a handful of templates carries half the cost, and
+        under a tuned configuration (cheap lookups, expensive joins
+        remaining) the distribution is heavy-tailed upward — the §6
+        regime."""
+        from repro.physical import Configuration, build_pool
+        from repro.workload import generate_tpcd_workload, tpcd_schema
+        from repro.optimizer import WhatIfOptimizer
+
+        schema = tpcd_schema(0.05)
+        wl = generate_tpcd_workload(150, seed=4, schema=schema)
+        opt = WhatIfOptimizer(schema)
+        pool = build_pool(wl.queries[:80], opt, include_views=False)
+        tuned = Configuration(pool.indexes, name="tuned")
+        costs = wl.cost_vector(opt, tuned)
+        profile = profile_workload(wl, costs)
+        assert profile.templates_for_half_cost < profile.template_count
+        assert profile.cost_p99_over_median > 2.0

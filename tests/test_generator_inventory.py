@@ -1,0 +1,117 @@
+"""Structural inventory checks for the TPC-D and CRM generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries import QueryType
+from repro.workload import (
+    crm_schema,
+    crm_templates,
+    tpcd_schema,
+    tpcd_templates,
+)
+
+
+@pytest.fixture(scope="module")
+def tpcd():
+    return tpcd_schema(0.1)
+
+
+@pytest.fixture(scope="module")
+def crm():
+    return crm_schema()
+
+
+class TestTpcdTemplateInventory:
+    def test_names_unique(self):
+        names = [t.name for t in tpcd_templates()]
+        assert len(names) == len(set(names))
+
+    def test_every_column_reference_valid(self, tpcd):
+        for template in tpcd_templates():
+            for table in template.tables:
+                assert table in tpcd, (template.name, table)
+            for slot in template.slots:
+                tpcd.column(slot.column.table, slot.column.column)
+            for jp in template.join_predicates:
+                tpcd.column(jp.left.table, jp.left.column)
+                tpcd.column(jp.right.table, jp.right.column)
+            for ref in (template.select_columns + template.group_by
+                        + template.order_by + template.set_columns):
+                tpcd.column(ref.table, ref.column)
+
+    def test_joins_follow_foreign_keys(self, tpcd):
+        fk_edges = {
+            frozenset((fk.child_table, fk.parent_table))
+            for fk in tpcd.foreign_keys
+        }
+        for template in tpcd_templates(include_dml=False):
+            for jp in template.join_predicates:
+                edge = frozenset(jp.tables())
+                assert edge in fk_edges, (
+                    f"{template.name} joins {sorted(edge)} without a "
+                    "foreign key"
+                )
+
+    def test_join_fanout_spectrum(self):
+        """The QGEN set spans single-table to 5-way joins."""
+        joins = {len(t.join_predicates)
+                 for t in tpcd_templates(include_dml=False)}
+        assert 0 in joins
+        assert max(joins) >= 4
+
+    def test_dml_templates_cover_kinds(self):
+        dml = [t for t in tpcd_templates()
+               if t.qtype != QueryType.SELECT]
+        kinds = {t.qtype for t in dml}
+        assert kinds == {QueryType.UPDATE, QueryType.INSERT,
+                         QueryType.DELETE}
+
+    def test_filters_reference_from_tables(self):
+        for template in tpcd_templates():
+            tables = set(template.tables)
+            for slot in template.slots:
+                assert slot.column.table in tables, template.name
+
+
+class TestCrmSchemaIntegrity:
+    def test_every_fk_resolves(self, crm):
+        for fk in crm.foreign_keys:
+            child = crm.table(fk.child_table)
+            parent = crm.table(fk.parent_table)
+            assert fk.child_column in child
+            assert fk.parent_column in parent
+
+    def test_fk_domains_match_parent_cardinality(self, crm):
+        for fk in crm.foreign_keys:
+            child_col = crm.column(fk.child_table, fk.child_column)
+            parent = crm.table(fk.parent_table)
+            assert child_col.distinct_count == parent.row_count, fk
+
+    def test_core_tables_present(self, crm):
+        for name in ("account", "contact", "sales_order", "order_line",
+                     "invoice", "payment"):
+            assert name in crm
+
+    def test_aux_tables_padded(self, crm):
+        aux = [t.name for t in crm if t.name.startswith("aux_")]
+        assert len(aux) == 490
+
+    def test_templates_all_valid(self, crm):
+        for template in crm_templates(crm):
+            for table in template.tables:
+                assert table in crm, (template.name, table)
+            for slot in template.slots:
+                crm.column(slot.column.table, slot.column.column)
+
+    def test_template_kind_mix(self, crm):
+        kinds = {t.qtype for t in crm_templates(crm)}
+        assert kinds == set(QueryType.ALL)
+
+    def test_schema_deterministic(self):
+        a = crm_schema(seed=7)
+        b = crm_schema(seed=7)
+        assert [t.name for t in a] == [t.name for t in b]
+        assert [t.row_count for t in a] == [t.row_count for t in b]

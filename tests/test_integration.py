@@ -1,0 +1,156 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationSelector,
+    MatrixCostSource,
+    OptimizerCostSource,
+    SelectorOptions,
+    WhatIfOptimizer,
+    base_configuration,
+    build_pool,
+    enumerate_configurations,
+)
+from repro.bounds import CostBounder
+from repro.experiments import find_pair, tpcd_setup
+from repro.workload import (
+    WorkloadStore,
+    generate_tpcd_workload,
+    tpcd_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def tpcd_small():
+    """A small TPC-D pipeline shared across integration tests."""
+    schema = tpcd_schema(scale_factor=0.05)
+    workload = generate_tpcd_workload(600, seed=17, schema=schema)
+    optimizer = WhatIfOptimizer(schema)
+    pool = build_pool(workload.queries[:150], optimizer)
+    configs = enumerate_configurations(
+        pool, 5, np.random.default_rng(17)
+    )
+    return schema, workload, optimizer, configs
+
+
+class TestEndToEnd:
+    def test_selector_agrees_with_ground_truth(self, tpcd_small):
+        schema, workload, optimizer, configs = tpcd_small
+        totals = [workload.total_cost(optimizer, c) for c in configs]
+        truly_best = int(np.argmin(totals))
+
+        source = OptimizerCostSource(workload, configs, optimizer)
+        result = ConfigurationSelector(
+            source, workload.template_ids,
+            SelectorOptions(alpha=0.9, consecutive=5),
+            rng=np.random.default_rng(3),
+        ).run()
+        assert result.best_index == truly_best
+
+    def test_calls_saved_vs_exhaustive(self, tpcd_small):
+        schema, workload, optimizer, configs = tpcd_small
+        source = OptimizerCostSource(workload, configs, optimizer)
+        result = ConfigurationSelector(
+            source, workload.template_ids,
+            SelectorOptions(alpha=0.9, consecutive=5),
+            rng=np.random.default_rng(4),
+        ).run()
+        exhaustive = workload.size * len(configs)
+        assert result.optimizer_calls < 0.6 * exhaustive
+
+    def test_matrix_and_live_sources_agree(self, tpcd_small):
+        schema, workload, optimizer, configs = tpcd_small
+        matrix = workload.cost_matrix(optimizer, configs)
+        live = OptimizerCostSource(workload, configs, optimizer)
+        mat = MatrixCostSource(matrix)
+        for q in (0, 5, 100):
+            for c in range(len(configs)):
+                assert live.cost(q, c) == pytest.approx(mat.cost(q, c))
+
+    def test_store_round_trip_preserves_costs(self, tpcd_small, rng):
+        schema, workload, optimizer, configs = tpcd_small
+        with WorkloadStore() as store:
+            store.load(workload)
+            sample = store.sample(25, rng)
+        for idx, query in sample:
+            assert optimizer.cost(query, configs[0]) == pytest.approx(
+                optimizer.cost(workload[idx], configs[0])
+            )
+
+    def test_bounds_hold_across_enumeration(self, tpcd_small):
+        schema, workload, optimizer, configs = tpcd_small
+        base = base_configuration(configs)
+        union = configs[0]
+        for cfg in configs[1:]:
+            union = union.union(cfg)
+        bounder = CostBounder(optimizer, workload, base, union)
+        intervals = bounder.universal_intervals()
+        for cfg in configs:
+            costs = workload.cost_vector(optimizer, cfg.union(base))
+            assert intervals.contains(costs, atol=1e-6)
+
+
+class TestExperimentSetups:
+    def test_tpcd_setup_shape(self):
+        setup = tpcd_setup(n_queries=300, k=4, seed=3,
+                           candidate_queries=100)
+        assert setup.matrix.shape == (300, 4)
+        assert setup.workload.size == 300
+        assert len(setup.configurations) == 4
+        assert setup.true_best == int(np.argmin(setup.matrix.sum(axis=0)))
+
+    def test_setup_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        import time
+
+        t0 = time.perf_counter()
+        a = tpcd_setup(n_queries=200, k=2, seed=4, candidate_queries=50)
+        first = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        b = tpcd_setup(n_queries=200, k=2, seed=4, candidate_queries=50)
+        second = time.perf_counter() - t0
+        assert np.array_equal(a.matrix, b.matrix)
+        assert second < first
+
+    def test_find_pair_orders_worse_first(self):
+        setup = tpcd_setup(n_queries=300, k=6, seed=3,
+                           candidate_queries=100)
+        totals = setup.true_totals
+        spreads = sorted(
+            (max(totals[i], totals[j]) - min(totals[i], totals[j]))
+            / max(totals[i], totals[j])
+            for i in range(6) for j in range(i + 1, 6)
+        )
+        target = spreads[len(spreads) // 2]
+        worse, better = find_pair(setup, target, tolerance=0.9)
+        assert totals[worse] > totals[better]
+
+    def test_find_pair_unsatisfiable(self):
+        setup = tpcd_setup(n_queries=300, k=2, seed=3,
+                           candidate_queries=100)
+        with pytest.raises(LookupError):
+            find_pair(setup, 0.5, tolerance=0.0)
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        """Same seeds -> bit-identical selection outcome."""
+        outcomes = []
+        for _ in range(2):
+            setup = tpcd_setup(n_queries=300, k=4, seed=3,
+                               candidate_queries=100)
+            source = MatrixCostSource(setup.matrix)
+            result = ConfigurationSelector(
+                source, setup.workload.template_ids,
+                SelectorOptions(alpha=0.9, consecutive=5),
+                rng=np.random.default_rng(99),
+            ).run()
+            outcomes.append(
+                (result.best_index, result.optimizer_calls,
+                 tuple(result.estimates))
+            )
+        assert outcomes[0] == outcomes[1]

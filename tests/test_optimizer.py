@@ -1,0 +1,516 @@
+"""Tests for the what-if optimizer substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import StatisticsCatalog
+from repro.optimizer import (
+    CostParams,
+    WhatIfOptimizer,
+    affected_rows,
+    best_access_path,
+    conjunction_selectivity,
+    join_selectivity,
+    matching_views,
+    needed_columns,
+    predicate_selectivity,
+    select_part,
+    suggest_index,
+    table_selectivity,
+    view_cardinality,
+    view_scan_cost,
+)
+from repro.optimizer.params import DEFAULT_PARAMS
+from repro.physical import Configuration, Index, MaterializedView
+from repro.queries import (
+    Aggregate,
+    ColumnRef,
+    EqPredicate,
+    InPredicate,
+    JoinPredicate,
+    Query,
+    QueryType,
+    RangePredicate,
+)
+
+
+@pytest.fixture
+def stats(small_schema) -> StatisticsCatalog:
+    return StatisticsCatalog(small_schema)
+
+
+class TestSelectivity:
+    def test_eq_in_unit_range(self, stats):
+        sel = predicate_selectivity(
+            EqPredicate(ColumnRef("orders", "o_cust"), 3), stats
+        )
+        assert 0 < sel <= 1
+
+    def test_range_wider_is_larger(self, stats):
+        ref = ColumnRef("orders", "o_date")
+        narrow = predicate_selectivity(RangePredicate(ref, 0, 10), stats)
+        wide = predicate_selectivity(RangePredicate(ref, 0, 500), stats)
+        assert wide > narrow
+
+    def test_in_grows_with_list(self, stats):
+        ref = ColumnRef("customer", "c_region")
+        one = predicate_selectivity(InPredicate(ref, (0,)), stats)
+        two = predicate_selectivity(InPredicate(ref, (0, 1)), stats)
+        assert two > one
+
+    def test_conjunction_independence(self, stats):
+        preds = [
+            EqPredicate(ColumnRef("orders", "o_cust"), 3),
+            EqPredicate(ColumnRef("orders", "o_status"), 1),
+        ]
+        combined = conjunction_selectivity(preds, stats)
+        product = predicate_selectivity(
+            preds[0], stats
+        ) * predicate_selectivity(preds[1], stats)
+        assert combined == pytest.approx(product)
+
+    def test_table_selectivity_scopes_to_table(self, stats, join_query):
+        sel_orders = table_selectivity(join_query, "orders", stats)
+        assert sel_orders == pytest.approx(1.0)
+        sel_cust = table_selectivity(join_query, "customer", stats)
+        assert sel_cust < 1.0
+
+    def test_join_selectivity(self, stats, join_query):
+        jp = join_query.join_predicates[0]
+        assert join_selectivity(jp, stats) == pytest.approx(1 / 5000)
+
+
+class TestAccessPaths:
+    def test_heap_scan_without_indexes(
+        self, small_schema, stats, point_query, empty_config
+    ):
+        path = best_access_path(
+            point_query, "orders", empty_config, small_schema, stats,
+            DEFAULT_PARAMS,
+        )
+        assert path.kind == "heap_scan"
+        assert path.index is None
+
+    def test_seek_beats_scan_for_point_lookup(
+        self, small_schema, stats, point_query, indexed_config
+    ):
+        path = best_access_path(
+            point_query, "orders", indexed_config, small_schema, stats,
+            DEFAULT_PARAMS,
+        )
+        assert path.kind == "index_seek"
+        assert path.index.leading_column == "o_id"
+
+    def test_covering_scan_when_no_filter(self, small_schema, stats):
+        q = Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            select_columns=(ColumnRef("orders", "o_total"),),
+        )
+        config = Configuration([Index("orders", ("o_total",))])
+        path = best_access_path(
+            q, "orders", config, small_schema, stats, DEFAULT_PARAMS
+        )
+        assert path.kind == "covering_scan"
+
+    def test_non_covering_wide_result_prefers_heap(
+        self, small_schema, stats, scan_query
+    ):
+        # A broad range on o_date with a non-covering index: lookups
+        # would cost more than scanning.
+        config = Configuration([Index("orders", ("o_date",))])
+        path = best_access_path(
+            scan_query, "orders", config, small_schema, stats,
+            DEFAULT_PARAMS,
+        )
+        assert path.kind == "heap_scan"
+
+    def test_needed_columns(self, join_query):
+        assert needed_columns(join_query, "customer") == {
+            "c_id", "c_region"
+        }
+
+    def test_suggest_index_covers(self, stats, join_query):
+        ix = suggest_index(join_query, "customer", stats)
+        assert ix is not None
+        assert ix.covers(needed_columns(join_query, "customer"))
+        # the filtered column leads
+        assert ix.leading_column == "c_region"
+
+    def test_suggest_index_none_when_untouched(self, stats):
+        q = Query(qtype=QueryType.SELECT, tables=("orders",))
+        assert suggest_index(q, "orders", stats) is None
+
+    def test_output_rows_reflect_filters(
+        self, small_schema, stats, point_query, empty_config
+    ):
+        path = best_access_path(
+            point_query, "orders", empty_config, small_schema, stats,
+            DEFAULT_PARAMS,
+        )
+        assert path.output_rows < small_schema.table("orders").row_count
+
+
+class TestJoinsAndPlans:
+    def test_single_table_plan_cost_is_path_cost(
+        self, optimizer, point_query, empty_config
+    ):
+        plan = optimizer.plan(point_query, empty_config)
+        assert plan.join_plan is not None
+        assert plan.join_plan.steps == ()
+        assert plan.total_cost == pytest.approx(
+            plan.access_paths[0].cost, rel=1e-9
+        )
+
+    def test_join_produces_step(self, optimizer, join_query, empty_config):
+        plan = optimizer.plan(join_query, empty_config)
+        assert len(plan.join_plan.steps) == 1
+        assert plan.join_plan.steps[0].method in (
+            "hash", "index_nested_loop"
+        )
+
+    def test_inl_used_with_join_index(self, optimizer, small_schema):
+        # A single-customer lookup joined to orders: with a covering
+        # index on the join column, probing beats scanning 100K orders.
+        q = Query(
+            qtype=QueryType.SELECT,
+            tables=("orders", "customer"),
+            join_predicates=(
+                JoinPredicate(ColumnRef("orders", "o_cust"),
+                              ColumnRef("customer", "c_id")),
+            ),
+            filters=(EqPredicate(ColumnRef("customer", "c_id"), 17),),
+            select_columns=(ColumnRef("orders", "o_total"),),
+        )
+        config = Configuration(
+            [Index("orders", ("o_cust",), ("o_total",))]
+        )
+        plan = optimizer.plan(q, config)
+        methods = {s.method for s in plan.join_plan.steps}
+        assert "index_nested_loop" in methods
+        # And it must be cheaper than the no-index plan.
+        assert plan.total_cost < optimizer.cost(
+            q, Configuration(name="none")
+        )
+
+    def test_aggregation_cost_added(self, optimizer, scan_query,
+                                    empty_config):
+        plan = optimizer.plan(scan_query, empty_config)
+        assert plan.aggregation_cost > 0
+
+    def test_order_by_cost_added(self, optimizer, empty_config):
+        q = Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            select_columns=(ColumnRef("orders", "o_total"),),
+            order_by=(ColumnRef("orders", "o_total"),),
+        )
+        plan = optimizer.plan(q, empty_config)
+        assert plan.sort_cost > 0
+
+    def test_cross_product_handled(self, optimizer, empty_config):
+        q = Query(
+            qtype=QueryType.SELECT, tables=("orders", "customer"),
+            select_columns=(ColumnRef("orders", "o_id"),),
+        )
+        plan = optimizer.plan(q, empty_config)
+        assert plan.join_plan.steps[0].method == "cross"
+
+
+class TestViews:
+    def test_view_matches_join_query(self, join_query):
+        view = MaterializedView(
+            ("orders", "customer"), join_query.join_predicates
+        )
+        config = Configuration([], [view])
+        assert matching_views(join_query, config) == [view]
+
+    def test_view_table_subset_mismatch(self, join_query):
+        view = MaterializedView(
+            ("orders", "customer"), join_query.join_predicates
+        )
+        single = Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            select_columns=(ColumnRef("orders", "o_id"),),
+        )
+        assert matching_views(single, Configuration([], [view])) == []
+
+    def test_aggregated_view_requires_matching_group_by(self, small_schema):
+        jp = JoinPredicate(
+            ColumnRef("orders", "o_cust"), ColumnRef("customer", "c_id")
+        )
+        agg_view = MaterializedView(
+            ("orders", "customer"), (jp,),
+            group_by=(ColumnRef("customer", "c_region"),),
+            aggregates=(Aggregate("SUM", ColumnRef("orders", "o_total")),),
+        )
+        config = Configuration([], [agg_view])
+        matching = Query(
+            qtype=QueryType.SELECT, tables=("orders", "customer"),
+            join_predicates=(jp,),
+            group_by=(ColumnRef("customer", "c_region"),),
+            aggregates=(Aggregate("SUM", ColumnRef("orders", "o_total")),),
+        )
+        non_matching = Query(
+            qtype=QueryType.SELECT, tables=("orders", "customer"),
+            join_predicates=(jp,),
+            group_by=(ColumnRef("customer", "c_name"),),
+            aggregates=(Aggregate("SUM", ColumnRef("orders", "o_total")),),
+        )
+        assert matching_views(matching, config) == [agg_view]
+        assert matching_views(non_matching, config) == []
+
+    def test_aggregated_view_rejects_lost_filter_column(self, small_schema):
+        jp = JoinPredicate(
+            ColumnRef("orders", "o_cust"), ColumnRef("customer", "c_id")
+        )
+        agg_view = MaterializedView(
+            ("orders", "customer"), (jp,),
+            group_by=(ColumnRef("customer", "c_region"),),
+            aggregates=(Aggregate("COUNT", None),),
+        )
+        q = Query(
+            qtype=QueryType.SELECT, tables=("orders", "customer"),
+            join_predicates=(jp,),
+            filters=(EqPredicate(ColumnRef("orders", "o_status"), 1),),
+            group_by=(ColumnRef("customer", "c_region"),),
+            aggregates=(Aggregate("COUNT", None),),
+        )
+        assert matching_views(q, Configuration([], [agg_view])) == []
+
+    def test_view_cardinality_capped_by_group_domain(
+        self, small_schema, stats
+    ):
+        jp = JoinPredicate(
+            ColumnRef("orders", "o_cust"), ColumnRef("customer", "c_id")
+        )
+        plain = MaterializedView(("orders", "customer"), (jp,))
+        grouped = MaterializedView(
+            ("orders", "customer"), (jp,),
+            group_by=(ColumnRef("customer", "c_region"),),
+            aggregates=(Aggregate("COUNT", None),),
+        )
+        assert view_cardinality(grouped, small_schema, stats) <= 5
+        assert view_cardinality(plain, small_schema, stats) > 5
+
+    def test_aggregated_view_plan_cheaper(self, optimizer, empty_config):
+        # A tiny aggregated view answers the grouped join directly; a
+        # plain join view of 100K rows would rightly NOT be chosen for
+        # a cheap two-way hash join.
+        jp = JoinPredicate(
+            ColumnRef("orders", "o_cust"), ColumnRef("customer", "c_id")
+        )
+        q = Query(
+            qtype=QueryType.SELECT, tables=("orders", "customer"),
+            join_predicates=(jp,),
+            group_by=(ColumnRef("customer", "c_region"),),
+            aggregates=(Aggregate("SUM", ColumnRef("orders", "o_total")),),
+        )
+        view = MaterializedView(
+            ("orders", "customer"), (jp,),
+            group_by=(ColumnRef("customer", "c_region"),),
+            aggregates=(Aggregate("SUM", ColumnRef("orders", "o_total")),),
+        )
+        with_view = Configuration([], [view])
+        assert optimizer.cost(q, with_view) < optimizer.cost(
+            q, empty_config
+        )
+        assert optimizer.plan(q, with_view).view == view
+
+    def test_join_view_rejected_when_scan_larger(
+        self, optimizer, join_query, empty_config
+    ):
+        # The un-aggregated join view stores one row per order; a scan
+        # of it costs more than the hash join, so the optimizer must
+        # keep the no-view plan.
+        view = MaterializedView(
+            ("orders", "customer"), join_query.join_predicates
+        )
+        plan = optimizer.plan(join_query, Configuration([], [view]))
+        assert plan.view is None
+        assert plan.total_cost == pytest.approx(
+            optimizer.cost(join_query, empty_config)
+        )
+
+    def test_view_never_matches_dml(self, update_query):
+        view = MaterializedView(
+            ("orders", "customer"),
+            (JoinPredicate(ColumnRef("orders", "o_cust"),
+                           ColumnRef("customer", "c_id")),),
+        )
+        assert matching_views(update_query, Configuration([], [view])) == []
+
+
+class TestUpdateCosts:
+    def test_select_part_structure(self, update_query):
+        part = select_part(update_query)
+        assert part.qtype == QueryType.SELECT
+        assert part.filters == update_query.filters
+
+    def test_select_part_rejects_select(self, join_query):
+        with pytest.raises(ValueError):
+            select_part(join_query)
+
+    def test_affected_rows_scale_with_selectivity(
+        self, small_schema, stats
+    ):
+        narrow = Query(
+            qtype=QueryType.UPDATE, tables=("orders",),
+            filters=(EqPredicate(ColumnRef("orders", "o_id"), 5),),
+            set_columns=(ColumnRef("orders", "o_total"),),
+        )
+        broad = Query(
+            qtype=QueryType.UPDATE, tables=("orders",),
+            filters=(RangePredicate(ColumnRef("orders", "o_date"), 0, 900),),
+            set_columns=(ColumnRef("orders", "o_total"),),
+        )
+        assert affected_rows(broad, small_schema, stats) > affected_rows(
+            narrow, small_schema, stats
+        )
+
+    def test_update_cost_grows_with_touched_indexes(
+        self, optimizer, update_query, empty_config, indexed_config
+    ):
+        assert optimizer.cost(update_query, indexed_config) > \
+            optimizer.cost(update_query, empty_config)
+
+    def test_update_untouched_index_not_charged(self, optimizer,
+                                                update_query):
+        unrelated = Configuration(
+            [Index("customer", ("c_region",))]
+        )
+        base = optimizer.cost(update_query, Configuration(name="none"))
+        assert optimizer.cost(update_query, unrelated) == pytest.approx(
+            base
+        )
+
+    def test_delete_charges_all_indexes(self, optimizer, small_schema):
+        q = Query(
+            qtype=QueryType.DELETE, tables=("orders",),
+            filters=(EqPredicate(ColumnRef("orders", "o_id"), 5),),
+        )
+        none = optimizer.cost(q, Configuration(name="none"))
+        with_ix = optimizer.cost(
+            q, Configuration([Index("orders", ("o_status",))])
+        )
+        assert with_ix > none
+
+    def test_insert_constant_cost_per_structure(self, optimizer):
+        q = Query(qtype=QueryType.INSERT, tables=("orders",))
+        none = optimizer.cost(q, Configuration(name="none"))
+        one = optimizer.cost(
+            q, Configuration([Index("orders", ("o_status",))])
+        )
+        two = optimizer.cost(
+            q,
+            Configuration(
+                [Index("orders", ("o_status",)),
+                 Index("orders", ("o_date",))]
+            ),
+        )
+        assert two - one == pytest.approx(one - none)
+
+    def test_view_maintenance_dominates(self, optimizer, update_query):
+        view = MaterializedView(
+            ("orders", "customer"),
+            (JoinPredicate(ColumnRef("orders", "o_cust"),
+                           ColumnRef("customer", "c_id")),),
+        )
+        with_view = optimizer.cost(
+            update_query, Configuration([], [view])
+        )
+        with_index = optimizer.cost(
+            update_query,
+            Configuration([Index("orders", ("o_total",))]),
+        )
+        assert with_view > with_index
+
+
+class TestWhatIfOptimizer:
+    def test_cost_deterministic(self, optimizer, join_query, indexed_config):
+        a = optimizer.cost(join_query, indexed_config)
+        b = optimizer.cost(join_query, indexed_config)
+        assert a == b
+
+    def test_cache_and_call_counting(self, optimizer, join_query,
+                                     indexed_config):
+        optimizer.reset_counters()
+        optimizer.clear_cache()
+        optimizer.cost(join_query, indexed_config)
+        optimizer.cost(join_query, indexed_config)
+        assert optimizer.calls == 1
+        assert optimizer.cache_hits == 1
+
+    def test_ideal_configuration_lower_bounds(
+        self, optimizer, join_query, empty_config, indexed_config
+    ):
+        ideal = optimizer.ideal_configuration(join_query)
+        ideal_cost = optimizer.cost(join_query, ideal)
+        assert ideal_cost <= optimizer.cost(join_query, empty_config)
+        assert ideal_cost <= optimizer.cost(join_query, indexed_config)
+
+    def test_adding_index_never_hurts_select(
+        self, optimizer, join_query, point_query, scan_query
+    ):
+        """Well-behavedness (Section 6.1): more structures, never costlier."""
+        base = Configuration(name="base")
+        extras = [
+            Index("orders", ("o_cust",), ("o_total",)),
+            Index("orders", ("o_id",)),
+            Index("customer", ("c_region",), ("c_id",)),
+            Index("orders", ("o_date",), ("o_status", "o_total")),
+        ]
+        for query in (join_query, point_query, scan_query):
+            previous = optimizer.cost(query, base)
+            grown = base
+            for ix in extras:
+                grown = grown.with_structures(indexes=[ix])
+                current = optimizer.cost(query, grown)
+                assert current <= previous + 1e-9
+                previous = current
+
+    @given(
+        cust=st.integers(0, 4999),
+        status=st.integers(0, 4),
+        width=st.integers(0, 400),
+    )
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_monotone_property(self, optimizer, cust, status, width):
+        """Adding a covering index never increases any SELECT's cost."""
+        q = Query(
+            qtype=QueryType.SELECT,
+            tables=("orders",),
+            filters=(
+                EqPredicate(ColumnRef("orders", "o_cust"), cust),
+                RangePredicate(ColumnRef("orders", "o_date"), 0, width),
+            ),
+            select_columns=(ColumnRef("orders", "o_total"),),
+        )
+        without = optimizer.cost(q, Configuration(name="none"))
+        with_ix = optimizer.cost(
+            q,
+            Configuration(
+                [Index("orders", ("o_cust", "o_date"), ("o_total",))]
+            ),
+        )
+        assert with_ix <= without + 1e-9
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            CostParams(seq_page_cost=0)
+
+    def test_custom_params_change_costs(self, small_schema, join_query,
+                                        empty_config):
+        cheap = WhatIfOptimizer(small_schema)
+        expensive = WhatIfOptimizer(
+            small_schema, params=CostParams(seq_page_cost=10.0)
+        )
+        assert expensive.cost(join_query, empty_config) > cheap.cost(
+            join_query, empty_config
+        )

@@ -1,0 +1,114 @@
+"""Tests for the richer plan space: merge join and sort elision."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer import WhatIfOptimizer
+from repro.optimizer.params import CostParams
+from repro.physical import Configuration, Index
+from repro.queries import (
+    ColumnRef,
+    EqPredicate,
+    JoinPredicate,
+    Query,
+    QueryType,
+)
+
+
+@pytest.fixture
+def join_all() -> Query:
+    """An unfiltered join (big inputs -> sorting costs matter)."""
+    return Query(
+        qtype=QueryType.SELECT,
+        tables=("orders", "customer"),
+        join_predicates=(
+            JoinPredicate(ColumnRef("orders", "o_cust"),
+                          ColumnRef("customer", "c_id")),
+        ),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+
+
+class TestMergeJoin:
+    def test_merge_chosen_with_sorted_inputs(self, small_schema,
+                                             join_all):
+        # Make hashing expensive so pre-sorted merge wins.
+        params = CostParams(hash_build_row_cost=0.05,
+                            hash_probe_row_cost=0.05)
+        optimizer = WhatIfOptimizer(small_schema, params=params)
+        config = Configuration([
+            Index("orders", ("o_cust",), ("o_total",)),
+            Index("customer", ("c_id",)),
+        ])
+        plan = optimizer.plan(join_all, config)
+        methods = {s.method for s in plan.join_plan.steps}
+        assert "merge" in methods
+
+    def test_merge_not_chosen_without_order(self, small_schema,
+                                            join_all):
+        params = CostParams(hash_build_row_cost=0.05,
+                            hash_probe_row_cost=0.05,
+                            sort_row_cost=0.05)
+        optimizer = WhatIfOptimizer(small_schema, params=params)
+        plan = optimizer.plan(join_all, Configuration(name="none"))
+        methods = {s.method for s in plan.join_plan.steps}
+        # Sorting both unsorted inputs at this sort cost cannot beat
+        # hashing.
+        assert methods == {"hash"}
+
+    def test_merge_never_increases_cost(self, optimizer, join_all):
+        """Adding the merge alternative can only help (min over more
+        options), preserving well-behavedness."""
+        sorted_cfg = Configuration([
+            Index("orders", ("o_cust",), ("o_total",)),
+            Index("customer", ("c_id",)),
+        ])
+        assert optimizer.cost(join_all, sorted_cfg) <= optimizer.cost(
+            join_all, Configuration(name="none")
+        ) + 1e-9
+
+
+class TestSortElision:
+    def _ordered_query(self) -> Query:
+        return Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            filters=(EqPredicate(ColumnRef("orders", "o_cust"), 3),),
+            select_columns=(ColumnRef("orders", "o_total"),),
+            order_by=(ColumnRef("orders", "o_cust"),),
+        )
+
+    def test_sort_elided_with_leading_index(self, optimizer):
+        q = self._ordered_query()
+        config = Configuration(
+            [Index("orders", ("o_cust",), ("o_total",))]
+        )
+        plan = optimizer.plan(q, config)
+        assert plan.access_paths[0].index is not None
+        assert plan.sort_cost == 0.0
+
+    def test_sort_paid_without_index(self, optimizer, empty_config):
+        plan = optimizer.plan(self._ordered_query(), empty_config)
+        assert plan.sort_cost > 0.0
+
+    def test_sort_paid_when_order_differs(self, optimizer):
+        q = Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            filters=(EqPredicate(ColumnRef("orders", "o_cust"), 3),),
+            select_columns=(ColumnRef("orders", "o_total"),),
+            order_by=(ColumnRef("orders", "o_total"),),
+        )
+        config = Configuration(
+            [Index("orders", ("o_cust",), ("o_total",))]
+        )
+        plan = optimizer.plan(q, config)
+        assert plan.sort_cost > 0.0
+
+    def test_elision_lowers_total(self, optimizer):
+        q = self._ordered_query()
+        with_ix = optimizer.cost(
+            q, Configuration([Index("orders", ("o_cust",),
+                                    ("o_total",))])
+        )
+        without = optimizer.cost(q, Configuration(name="none"))
+        assert with_ix < without

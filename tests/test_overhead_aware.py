@@ -1,0 +1,107 @@
+"""Tests for overhead-aware sample allocation (§5.2 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationSelector, MatrixCostSource, \
+    SelectorOptions
+from repro.queries import ColumnRef, EqPredicate, JoinPredicate, Query, \
+    QueryType
+from repro.workload import Workload
+
+
+class TestTemplateOverheads:
+    def test_single_table_unit_overhead(self):
+        q = Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            filters=(EqPredicate(ColumnRef("orders", "o_id"), 1),),
+        )
+        wl = Workload([q])
+        assert wl.template_overheads().tolist() == [1.0]
+
+    def test_join_templates_cost_more(self):
+        single = Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            filters=(EqPredicate(ColumnRef("orders", "o_id"), 1),),
+        )
+        joined = Query(
+            qtype=QueryType.SELECT, tables=("orders", "customer"),
+            join_predicates=(JoinPredicate(
+                ColumnRef("orders", "o_cust"),
+                ColumnRef("customer", "c_id"),
+            ),),
+        )
+        wl = Workload([single, joined])
+        overheads = wl.template_overheads()
+        t_single = int(wl.template_ids[0])
+        t_joined = int(wl.template_ids[1])
+        assert overheads[t_joined] == 4.0  # (1 + 1 join)^2
+        assert overheads[t_single] == 1.0
+
+
+class TestOverheadAwareSelector:
+    def _population(self, rng):
+        """Two templates, equal variance contribution, template 1 is
+        nominally 25x more expensive to optimize."""
+        n = 1200
+        template_ids = np.array([0] * 600 + [1] * 600)
+        base = np.where(template_ids == 0, 100.0, 110.0)
+        base = base * np.exp(rng.normal(0, 0.5, n))
+        matrix = np.column_stack([base, base * 1.1])
+        return template_ids, matrix
+
+    def test_overheads_shift_sampling(self, rng):
+        template_ids, matrix = self._population(rng)
+        overheads = np.array([1.0, 25.0])
+
+        def drawn_split(use_overheads):
+            source = MatrixCostSource(matrix)
+            selector = ConfigurationSelector(
+                source, template_ids,
+                SelectorOptions(alpha=0.95, stratify="fine",
+                                consecutive=3, n_min=10),
+                rng=np.random.default_rng(5),
+                template_overheads=overheads if use_overheads else None,
+            )
+            result = selector.run()
+            # count per-template draws from the delta state's sampler
+            return result
+
+        plain = drawn_split(False)
+        aware = drawn_split(True)
+        # Both must still select correctly.
+        best = int(np.argmin(matrix.sum(axis=0)))
+        assert plain.best_index == best
+        assert aware.best_index == best
+
+    def test_overhead_array_optional(self, rng):
+        template_ids, matrix = self._population(rng)
+        source = MatrixCostSource(matrix)
+        result = ConfigurationSelector(
+            source, template_ids,
+            SelectorOptions(alpha=0.9, consecutive=3),
+            rng=rng,
+            template_overheads=None,
+        ).run()
+        assert result.best_index == int(np.argmin(matrix.sum(axis=0)))
+
+    def test_stratum_overheads_weighted_mean(self, rng):
+        template_ids, matrix = self._population(rng)
+        source = MatrixCostSource(matrix)
+        selector = ConfigurationSelector(
+            source, template_ids,
+            SelectorOptions(alpha=0.9),
+            rng=rng,
+            template_overheads=np.array([2.0, 6.0]),
+        )
+        from repro.core.stratification import Stratification
+
+        single = Stratification.single({0: 600, 1: 600})
+        out = selector._stratum_overheads(single)
+        assert out is not None
+        assert out[0] == pytest.approx(4.0)  # equal-size weighted mean
+        split = single.split(0, [0], [1])
+        out2 = selector._stratum_overheads(split)
+        assert out2.tolist() == [2.0, 6.0]

@@ -1,0 +1,217 @@
+"""Tests for physical design structures, configurations and candidates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physical import (
+    CandidatePool,
+    Configuration,
+    Index,
+    MaterializedView,
+    base_configuration,
+    build_pool,
+    enumerate_configurations,
+)
+from repro.queries import ColumnRef, JoinPredicate
+
+
+JP = JoinPredicate(
+    ColumnRef("orders", "o_cust"), ColumnRef("customer", "c_id")
+)
+
+
+class TestIndex:
+    def test_name_deterministic(self):
+        ix = Index("orders", ("o_cust",), ("o_total",))
+        assert ix.name == "ix_orders_o_cust__inc_o_total"
+
+    def test_requires_keys(self):
+        with pytest.raises(ValueError):
+            Index("orders", ())
+
+    def test_rejects_key_include_overlap(self):
+        with pytest.raises(ValueError):
+            Index("orders", ("a",), ("a",))
+
+    def test_covers(self):
+        ix = Index("orders", ("a", "b"), ("c",))
+        assert ix.covers(frozenset({"a", "c"}))
+        assert not ix.covers(frozenset({"a", "z"}))
+
+    def test_storage_scales_with_width(self, small_schema):
+        narrow = Index("orders", ("o_id",))
+        wide = Index("orders", ("o_id",), ("o_status", "o_total"))
+        assert wide.storage_bytes(small_schema) > narrow.storage_bytes(
+            small_schema
+        )
+
+    def test_leaf_pages_positive_for_empty_table(self, small_schema):
+        from repro.catalog import Column, Table
+
+        small_schema.add_table(Table("empty_t", 0)).add_column(Column("x"))
+        assert Index("empty_t", ("x",)).leaf_pages(small_schema) == 1
+
+    def test_ordering_and_hash(self):
+        a = Index("orders", ("o_id",))
+        b = Index("orders", ("o_id",))
+        assert a == b and hash(a) == hash(b)
+        assert sorted([Index("b", ("x",)), Index("a", ("x",))])[0].table \
+            == "a"
+
+
+class TestMaterializedView:
+    def test_requires_join_or_group(self):
+        with pytest.raises(ValueError):
+            MaterializedView(("orders",), ())
+
+    def test_rejects_stray_join_table(self):
+        with pytest.raises(ValueError):
+            MaterializedView(("orders", "lineitem"), (JP,))
+
+    def test_rejects_stray_group_column(self):
+        with pytest.raises(ValueError):
+            MaterializedView(
+                ("orders", "customer"), (JP,),
+                group_by=(ColumnRef("nation", "n_name"),),
+            )
+
+    def test_name_and_hash_stable(self):
+        v1 = MaterializedView(("orders", "customer"), (JP,))
+        v2 = MaterializedView(("orders", "customer"), (JP,))
+        assert v1 == v2 and hash(v1) == hash(v2)
+        assert v1.name.startswith("mv_orders_customer")
+
+    def test_join_edge_keys_order_independent(self):
+        flipped = JoinPredicate(
+            ColumnRef("customer", "c_id"), ColumnRef("orders", "o_cust")
+        )
+        v1 = MaterializedView(("orders", "customer"), (JP,))
+        v2 = MaterializedView(("orders", "customer"), (flipped,))
+        assert v1.join_edge_keys() == v2.join_edge_keys()
+
+
+class TestConfiguration:
+    def test_equality_order_independent(self):
+        a = Index("orders", ("o_id",))
+        b = Index("orders", ("o_cust",))
+        assert Configuration([a, b]) == Configuration([b, a])
+        assert hash(Configuration([a, b])) == hash(Configuration([b, a]))
+
+    def test_indexes_on(self):
+        cfg = Configuration(
+            [Index("orders", ("o_id",)), Index("customer", ("c_id",))]
+        )
+        assert len(cfg.indexes_on("orders")) == 1
+        assert cfg.indexes_on("nothing") == []
+
+    def test_union_intersection(self):
+        a = Index("orders", ("o_id",))
+        b = Index("orders", ("o_cust",))
+        c1 = Configuration([a])
+        c2 = Configuration([a, b])
+        assert c1.union(c2).indexes == {a, b}
+        assert c1.intersection(c2).indexes == {a}
+
+    def test_overlap_fraction(self):
+        a = Index("orders", ("o_id",))
+        b = Index("orders", ("o_cust",))
+        assert Configuration([a]).overlap_fraction(
+            Configuration([a])
+        ) == pytest.approx(1.0)
+        assert Configuration([a]).overlap_fraction(
+            Configuration([b])
+        ) == pytest.approx(0.0)
+        assert Configuration([a, b]).overlap_fraction(
+            Configuration([a])
+        ) == pytest.approx(0.5)
+        assert Configuration().overlap_fraction(
+            Configuration()
+        ) == pytest.approx(1.0)
+
+    def test_contains_and_iter(self):
+        a = Index("orders", ("o_id",))
+        v = MaterializedView(("orders", "customer"), (JP,))
+        cfg = Configuration([a], [v])
+        assert a in cfg and v in cfg
+        assert cfg.structure_count == 2
+        assert len(list(cfg)) == 2
+
+    def test_storage_bytes(self, small_schema):
+        cfg = Configuration([Index("orders", ("o_id",))])
+        assert cfg.storage_bytes(small_schema) > 0
+
+    def test_base_configuration(self):
+        a = Index("orders", ("o_id",))
+        b = Index("orders", ("o_cust",))
+        base = base_configuration(
+            [Configuration([a, b]), Configuration([a])]
+        )
+        assert base.indexes == {a}
+        assert base_configuration([]).structure_count == 0
+
+
+class TestCandidates:
+    def test_pool_from_workload(self, optimizer, join_query, point_query):
+        pool = build_pool([join_query, point_query], optimizer)
+        assert pool.size > 0
+        # suggestions exist for both tables of the join query
+        tables = {ix.table for ix in pool.indexes}
+        assert {"orders", "customer"} <= tables
+
+    def test_pool_weights_accumulate(self, optimizer, point_query):
+        pool = build_pool([point_query, point_query], optimizer)
+        assert max(pool.index_weights.values()) >= 2
+
+    def test_enumerate_deterministic(self, optimizer, join_query,
+                                     point_query, scan_query):
+        pool = build_pool(
+            [join_query, point_query, scan_query], optimizer
+        )
+        a = enumerate_configurations(
+            pool, 5, np.random.default_rng(7), min_indexes=1,
+            max_indexes=4,
+        )
+        b = enumerate_configurations(
+            pool, 5, np.random.default_rng(7), min_indexes=1,
+            max_indexes=4,
+        )
+        assert a == b
+        assert len({cfg for cfg in a}) == 5
+
+    def test_enumerate_index_only(self, optimizer, join_query,
+                                  point_query, scan_query):
+        pool = build_pool(
+            [join_query, point_query, scan_query], optimizer
+        )
+        configs = enumerate_configurations(
+            pool, 4, np.random.default_rng(1), index_only=True,
+            min_indexes=1, max_indexes=4,
+        )
+        assert all(not cfg.views for cfg in configs)
+
+    def test_enumerate_with_base(self, optimizer, join_query, point_query,
+                                 scan_query):
+        pool = build_pool(
+            [join_query, point_query, scan_query], optimizer
+        )
+        shared = Index("orders", ("o_date",))
+        configs = enumerate_configurations(
+            pool, 3, np.random.default_rng(2),
+            base=Configuration([shared]), min_indexes=1, max_indexes=3,
+        )
+        assert all(shared in cfg for cfg in configs)
+
+    def test_enumerate_rejects_bad_k(self, optimizer, point_query):
+        pool = build_pool([point_query], optimizer)
+        with pytest.raises(ValueError):
+            enumerate_configurations(pool, 0, np.random.default_rng(0))
+
+    def test_enumerate_exhausted_pool(self, optimizer, point_query):
+        pool = build_pool([point_query], optimizer)
+        with pytest.raises(RuntimeError):
+            enumerate_configurations(
+                pool, 500, np.random.default_rng(0), min_indexes=1,
+                max_indexes=1,
+            )

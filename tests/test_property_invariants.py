@@ -1,0 +1,142 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds._dp import apply_group, group_intervals
+from repro.core import (
+    ConfigurationSelector,
+    MatrixCostSource,
+    SelectorOptions,
+    pair_target_variance,
+    pairwise_prcs,
+)
+
+
+class TestGroupedDpEquivalence:
+    """The grouped max-plus transition must agree with the naive
+    per-item DP on every instance."""
+
+    @staticmethod
+    def _naive_dp(items, kind):
+        # items: list of (lo_val, hi_val, d)
+        state = {0: 0.0}
+        better = max if kind == "max" else min
+        for lo, hi, d in items:
+            new = {}
+            for offset, value in state.items():
+                for shift, add in ((0, lo), (d, hi)):
+                    key = offset + shift
+                    candidate = value + add
+                    if key not in new:
+                        new[key] = candidate
+                    else:
+                        new[key] = better(new[key], candidate)
+            state = new
+        return state
+
+    @given(
+        d=st.integers(1, 6),
+        m=st.integers(1, 6),
+        lo=st.floats(0, 50),
+        gain=st.floats(0, 100),
+        kind=st.sampled_from(["max", "min"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_group_matches_naive(self, d, m, lo, gain, kind):
+        hi = lo + gain
+        out = apply_group(np.zeros(1), d, m, base=lo, alpha=gain,
+                          kind=kind)
+        naive = self._naive_dp([(lo, hi, d)] * m, kind)
+        for offset, value in naive.items():
+            assert out[offset] == pytest.approx(value, abs=1e-6)
+        # unreachable offsets stay at the fill value
+        reachable = set(naive)
+        for offset in range(len(out)):
+            if offset not in reachable:
+                assert not np.isfinite(out[offset])
+
+    @given(
+        seed=st.integers(0, 10_000),
+        kind=st.sampled_from(["max", "min"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multi_group_matches_naive(self, seed, kind):
+        rng = np.random.default_rng(seed)
+        groups = []
+        items = []
+        for _ in range(rng.integers(1, 4)):
+            d = int(rng.integers(1, 5))
+            m = int(rng.integers(1, 4))
+            lo = float(rng.uniform(0, 20))
+            gain = float(rng.uniform(0, 30))
+            groups.append((d, m, lo, gain))
+            items.extend([(lo, lo + gain, d)] * m)
+        state = np.zeros(1)
+        for d, m, lo, gain in groups:
+            state = apply_group(state, d, m, base=lo, alpha=gain,
+                                kind=kind)
+        naive = self._naive_dp(items, kind)
+        for offset, value in naive.items():
+            assert state[offset] == pytest.approx(value, abs=1e-6)
+
+
+class TestPrcsInversion:
+    @given(
+        gap=st.floats(0.01, 1e6),
+        delta=st.floats(0, 1e5),
+        alpha=st.floats(0.55, 0.999),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_target_variance_inverts_prcs(self, gap, delta, alpha):
+        v = pair_target_variance(gap, delta, alpha)
+        if np.isfinite(v) and v > 0:
+            assert pairwise_prcs(gap, v, delta) == pytest.approx(
+                alpha, abs=1e-6
+            )
+
+
+class TestSelectorRobustness:
+    @given(
+        seed=st.integers(0, 500),
+        k=st.integers(2, 5),
+        scheme=st.sampled_from(["delta", "independent"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_always_returns_valid_selection(self, seed, k, scheme):
+        rng = np.random.default_rng(seed)
+        n = 120
+        template_ids = rng.integers(0, 4, n)
+        matrix = np.abs(rng.lognormal(1, 1, (n, k))) + 1e-6
+        source = MatrixCostSource(matrix)
+        result = ConfigurationSelector(
+            source, template_ids,
+            SelectorOptions(alpha=0.9, scheme=scheme, n_min=5,
+                            consecutive=2),
+            rng=rng,
+        ).run()
+        assert 0 <= result.best_index < k
+        assert 0.0 <= result.prcs <= 1.0
+        assert result.optimizer_calls <= n * k
+        assert result.terminated_by in ("alpha", "exhausted",
+                                        "max_calls")
+        assert np.isfinite(result.estimates).all()
+
+    def test_constant_costs_tie(self, rng):
+        """All configurations identical: any pick is correct; the
+        procedure must terminate (via exhaustion) and not crash."""
+        matrix = np.full((80, 3), 7.0)
+        source = MatrixCostSource(matrix)
+        result = ConfigurationSelector(
+            source, np.zeros(80, dtype=int),
+            SelectorOptions(alpha=0.9, n_min=5, consecutive=3),
+            rng=rng,
+        ).run()
+        assert result.terminated_by in ("alpha", "exhausted")
+        assert 0 <= result.best_index < 3

@@ -1,0 +1,340 @@
+"""Tests for the query substrate: ASTs, templates, rendering, parsing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries import (
+    Aggregate,
+    ColumnRef,
+    EqPredicate,
+    InPredicate,
+    JoinPredicate,
+    ParseError,
+    Query,
+    QueryType,
+    RangePredicate,
+    TemplateRegistry,
+    group_by_template,
+    parse_query,
+    render_query,
+)
+
+O_ID = ColumnRef("orders", "o_id")
+O_CUST = ColumnRef("orders", "o_cust")
+C_ID = ColumnRef("customer", "c_id")
+C_REGION = ColumnRef("customer", "c_region")
+
+
+def make_select(value: int = 5) -> Query:
+    return Query(
+        qtype=QueryType.SELECT,
+        tables=("orders", "customer"),
+        join_predicates=(JoinPredicate(O_CUST, C_ID),),
+        filters=(EqPredicate(C_REGION, value),),
+        select_columns=(O_ID,),
+    )
+
+
+class TestAstValidation:
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            Query(qtype="MERGE", tables=("t",))
+
+    def test_rejects_empty_from(self):
+        with pytest.raises(ValueError):
+            Query(qtype=QueryType.SELECT, tables=())
+
+    def test_dml_single_table_only(self):
+        with pytest.raises(ValueError):
+            Query(
+                qtype=QueryType.DELETE,
+                tables=("a", "b"),
+            )
+
+    def test_update_requires_set_columns(self):
+        with pytest.raises(ValueError):
+            Query(qtype=QueryType.UPDATE, tables=("orders",))
+
+    def test_filter_table_must_be_in_from(self):
+        with pytest.raises(ValueError, match="missing"):
+            Query(
+                qtype=QueryType.SELECT,
+                tables=("orders",),
+                filters=(EqPredicate(C_REGION, 1),),
+            )
+
+    def test_join_table_must_be_in_from(self):
+        with pytest.raises(ValueError, match="missing"):
+            Query(
+                qtype=QueryType.SELECT,
+                tables=("orders",),
+                join_predicates=(JoinPredicate(O_CUST, C_ID),),
+            )
+
+    def test_join_within_single_table_rejected(self):
+        with pytest.raises(ValueError):
+            JoinPredicate(O_ID, O_CUST)
+
+    def test_range_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            RangePredicate(O_ID, 10, 5)
+
+    def test_in_rejects_empty(self):
+        with pytest.raises(ValueError):
+            InPredicate(O_ID, ())
+
+    def test_aggregate_validation(self):
+        with pytest.raises(ValueError):
+            Aggregate("MEDIAN", O_ID)
+        with pytest.raises(ValueError):
+            Aggregate("SUM", None)
+        assert Aggregate("COUNT", None).column is None
+
+    def test_target_table_select_raises(self):
+        with pytest.raises(ValueError):
+            _ = make_select().target_table
+
+    def test_referenced_columns_deduplicated(self):
+        q = make_select()
+        refs = q.referenced_columns()
+        assert len(refs) == len(set(refs))
+        assert C_REGION in refs and O_CUST in refs and C_ID in refs
+
+
+class TestTemplates:
+    def test_same_structure_different_constants(self):
+        assert make_select(1).template_key() == make_select(99).template_key()
+        assert make_select(1).template_hash() == make_select(
+            99
+        ).template_hash()
+
+    def test_different_structure(self):
+        other = Query(
+            qtype=QueryType.SELECT,
+            tables=("orders", "customer"),
+            join_predicates=(JoinPredicate(O_CUST, C_ID),),
+            filters=(RangePredicate(C_REGION, 1, 3),),
+            select_columns=(O_ID,),
+        )
+        assert other.template_key() != make_select().template_key()
+
+    def test_in_list_length_not_part_of_template(self):
+        q1 = Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            filters=(InPredicate(O_ID, (1, 2)),),
+        )
+        q2 = Query(
+            qtype=QueryType.SELECT, tables=("orders",),
+            filters=(InPredicate(O_ID, (3, 4, 5, 6)),),
+        )
+        assert q1.template_key() == q2.template_key()
+
+    def test_registry_assigns_dense_ids(self):
+        reg = TemplateRegistry()
+        a = reg.template_id(make_select(1), name="lookup")
+        b = reg.template_id(make_select(2))
+        assert a == b == 0
+        assert reg.name_of(0) == "lookup"
+        assert reg.count == 1
+
+    def test_registry_name_fallback_and_set(self):
+        reg = TemplateRegistry()
+        tid = reg.template_id(make_select())
+        assert reg.name_of(tid) == f"T{tid}"
+        reg.set_name(tid, "better")
+        assert reg.name_of(tid) == "better"
+        with pytest.raises(KeyError):
+            reg.set_name(99, "x")
+        with pytest.raises(KeyError):
+            reg.hash_of(99)
+
+    def test_registry_lookup_without_register(self):
+        reg = TemplateRegistry()
+        assert reg.lookup(make_select()) is None
+
+    def test_group_by_template(self):
+        queries = [make_select(i) for i in range(4)] + [
+            Query(
+                qtype=QueryType.SELECT, tables=("orders",),
+                filters=(EqPredicate(O_ID, i),),
+            )
+            for i in range(3)
+        ]
+        groups = group_by_template(queries)
+        assert sorted(len(v) for v in groups.values()) == [3, 4]
+
+
+class TestRenderParse:
+    def test_select_round_trip(self):
+        q = make_select()
+        assert parse_query(render_query(q)) == q
+
+    def test_select_with_everything(self):
+        q = Query(
+            qtype=QueryType.SELECT,
+            tables=("orders", "customer"),
+            join_predicates=(JoinPredicate(O_CUST, C_ID),),
+            filters=(
+                EqPredicate(C_REGION, 3),
+                RangePredicate(O_ID, 5, 50),
+                InPredicate(O_CUST, (1, 2, 7)),
+            ),
+            select_columns=(O_ID,),
+            aggregates=(
+                Aggregate("SUM", ColumnRef("orders", "o_cust")),
+                Aggregate("COUNT", None),
+            ),
+            group_by=(O_ID,),
+            order_by=(O_ID,),
+        )
+        text = render_query(q)
+        assert "BETWEEN" in text and "IN (" in text and "COUNT(*)" in text
+        assert parse_query(text) == q
+
+    def test_star_projection(self):
+        q = Query(qtype=QueryType.SELECT, tables=("orders",))
+        text = render_query(q)
+        assert text.startswith("SELECT * FROM")
+        assert parse_query(text) == q
+
+    def test_update_round_trip(self):
+        q = Query(
+            qtype=QueryType.UPDATE,
+            tables=("orders",),
+            filters=(EqPredicate(O_CUST, 7),),
+            set_columns=(ColumnRef("orders", "o_total"),
+                         ColumnRef("orders", "o_status")),
+        )
+        assert parse_query(render_query(q)) == q
+
+    def test_delete_round_trip(self):
+        q = Query(
+            qtype=QueryType.DELETE,
+            tables=("orders",),
+            filters=(RangePredicate(O_ID, 0, 9),),
+        )
+        assert parse_query(render_query(q)) == q
+
+    def test_insert_round_trip(self):
+        q = Query(qtype=QueryType.INSERT, tables=("orders",))
+        text = render_query(q)
+        assert text == "INSERT INTO orders VALUES (DEFAULT)"
+        assert parse_query(text) == q
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "DROP TABLE orders",
+            "SELECT FROM",
+            "SELECT * FROM orders WHERE",
+            "SELECT * FROM orders WHERE orders.o_id",
+            "SELECT * FROM orders WHERE orders.o_id LIKE 5",
+            "UPDATE orders WHERE orders.o_id = 1",
+            "INSERT INTO orders VALUES (1)",
+            "SELECT * FROM orders GROUP o_id",
+            "SELECT * FROM orders trailing.junk",
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad)
+
+
+# -- property-based round trip ------------------------------------------
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "SELECT", "FROM", "WHERE", "AND", "GROUP", "ORDER", "BY",
+        "BETWEEN", "IN", "UPDATE", "SET", "DELETE", "INSERT", "INTO",
+        "VALUES", "DEFAULT", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    }
+)
+
+
+@st.composite
+def _queries(draw) -> Query:
+    tables = draw(
+        st.lists(_ident, min_size=1, max_size=3, unique=True)
+    )
+    cols = {t: draw(st.lists(_ident, min_size=1, max_size=3, unique=True))
+            for t in tables}
+
+    def any_ref():
+        t = draw(st.sampled_from(tables))
+        return ColumnRef(t, draw(st.sampled_from(cols[t])))
+
+    qtype = draw(st.sampled_from(
+        [QueryType.SELECT, QueryType.UPDATE, QueryType.DELETE,
+         QueryType.INSERT]
+    ))
+    if qtype != QueryType.SELECT:
+        table = tables[0]
+        if qtype == QueryType.INSERT:
+            return Query(qtype=qtype, tables=(table,))
+        filters = tuple(
+            draw(st.lists(
+                st.builds(
+                    EqPredicate,
+                    st.just(ColumnRef(table, draw(st.sampled_from(
+                        cols[table]
+                    )))),
+                    st.integers(0, 1000),
+                ),
+                max_size=2,
+            ))
+        )
+        if qtype == QueryType.DELETE:
+            return Query(qtype=qtype, tables=(table,), filters=filters)
+        return Query(
+            qtype=qtype, tables=(table,), filters=filters,
+            set_columns=(ColumnRef(table, cols[table][0]),),
+        )
+
+    joins = []
+    for a, b in zip(tables, tables[1:]):
+        joins.append(
+            JoinPredicate(ColumnRef(a, cols[a][0]), ColumnRef(b, cols[b][0]))
+        )
+    n_filters = draw(st.integers(0, 3))
+    filters = []
+    for _ in range(n_filters):
+        ref = any_ref()
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            filters.append(EqPredicate(ref, draw(st.integers(0, 999))))
+        elif kind == 1:
+            lo = draw(st.integers(0, 500))
+            filters.append(
+                RangePredicate(ref, lo, lo + draw(st.integers(0, 100)))
+            )
+        else:
+            values = draw(
+                st.lists(st.integers(0, 99), min_size=1, max_size=4,
+                         unique=True)
+            )
+            filters.append(InPredicate(ref, tuple(values)))
+    return Query(
+        qtype=QueryType.SELECT,
+        tables=tuple(tables),
+        join_predicates=tuple(joins),
+        filters=tuple(filters),
+        select_columns=(any_ref(),),
+    )
+
+
+class TestRoundTripProperty:
+    @given(_queries())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_render_round_trip(self, query):
+        assert parse_query(render_query(query)) == query
+
+    @given(_queries())
+    @settings(max_examples=100, deadline=None)
+    def test_template_survives_round_trip(self, query):
+        parsed = parse_query(render_query(query))
+        assert parsed.template_key() == query.template_key()

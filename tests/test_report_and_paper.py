@@ -1,0 +1,68 @@
+"""Tests for report formatting helpers and the published-values module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    SECTION6_FRACTIONS,
+    TABLE1_SECONDS,
+    TABLE2_TPCD,
+    TABLE3_CRM,
+    format_kv,
+    format_series,
+    format_table,
+)
+
+
+class TestPaperValues:
+    def test_table1_shape(self):
+        assert set(TABLE1_SECONDS) == {10.0, 1.0, 0.1}
+        # linear-ish growth in 1/rho
+        assert TABLE1_SECONDS[0.1] > TABLE1_SECONDS[1.0] > \
+            TABLE1_SECONDS[10.0]
+
+    @pytest.mark.parametrize("table", [TABLE2_TPCD, TABLE3_CRM])
+    def test_multi_config_rows(self, table):
+        methods = [row.method for row in table]
+        assert methods == ["Delta-Sampling", "No Strat.", "Equal Alloc."]
+        for row in table:
+            assert set(row.true_prcs) == {50, 100, 500}
+            for p in row.true_prcs.values():
+                assert 0 < p <= 1
+            for d in row.max_delta_pct.values():
+                assert d >= 0
+
+    def test_primitive_beats_baselines_in_paper(self):
+        delta, nostrat, equal = TABLE2_TPCD
+        for k in (50, 100, 500):
+            assert delta.true_prcs[k] > nostrat.true_prcs[k]
+            assert delta.true_prcs[k] > equal.true_prcs[k]
+            assert delta.max_delta_pct[k] < nostrat.max_delta_pct[k]
+
+    def test_section6_fractions_shrink(self):
+        assert SECTION6_FRACTIONS[131_000] < SECTION6_FRACTIONS[13_000]
+
+
+class TestFormatting:
+    def test_table_handles_mixed_types(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", None]])
+        assert "None" in out
+        assert out.count("\n") == 3
+
+    def test_table_alignment_width(self):
+        out = format_table(["col"], [["verylongcontent"], ["x"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2])  # separator spans width
+
+    def test_series_mismatched_floats_formatted(self):
+        out = format_series("x", [1], {"s": [0.123456]})
+        assert "0.123" in out
+
+    def test_kv_empty(self):
+        assert format_kv({}) == ""
+
+    def test_kv_alignment(self):
+        out = format_kv({"a": 1, "longer_key": 2})
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")

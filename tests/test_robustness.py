@@ -1,0 +1,103 @@
+"""Robustness and fuzz tests: hostile inputs must fail cleanly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries import ParseError, parse_query
+from repro.queries.parser import _tokenize
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        """Any input either parses to a Query or raises ParseError /
+        ValueError (AST validation) — never another exception type."""
+        try:
+            query = parse_query(text)
+        except (ParseError, ValueError):
+            return
+        assert query.tables  # parsed something structurally valid
+
+    @given(st.text(alphabet="SELECT FROMWHERE().,*=0123456789abc_",
+                   max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_sqlish_text_never_crashes(self, text):
+        try:
+            parse_query(text)
+        except (ParseError, ValueError):
+            pass
+
+    def test_tokenizer_rejects_binary(self):
+        with pytest.raises(ParseError):
+            _tokenize("SELECT \x00 FROM t")
+
+    def test_deeply_nested_in_list(self):
+        values = ", ".join(str(i) for i in range(500))
+        query = parse_query(
+            f"SELECT * FROM t WHERE t.c IN ({values})"
+        )
+        assert len(query.filters[0].values) == 500
+
+
+class TestNumericEdges:
+    def test_selector_with_tiny_workload(self, rng):
+        from repro.core import ConfigurationSelector, MatrixCostSource, \
+            SelectorOptions
+
+        matrix = np.array([[1.0, 2.0], [3.0, 1.0], [2.0, 2.0]])
+        result = ConfigurationSelector(
+            MatrixCostSource(matrix), np.zeros(3, dtype=int),
+            SelectorOptions(alpha=0.9, n_min=2, consecutive=2),
+            rng=rng,
+        ).run()
+        assert result.best_index in (0, 1)
+        assert result.terminated_by in ("alpha", "exhausted")
+
+    def test_selector_with_extreme_costs(self, rng):
+        from repro.core import ConfigurationSelector, MatrixCostSource, \
+            SelectorOptions
+
+        matrix = np.column_stack([
+            np.full(50, 1e15), np.full(50, 1e-15)
+        ])
+        result = ConfigurationSelector(
+            MatrixCostSource(matrix), np.zeros(50, dtype=int),
+            SelectorOptions(alpha=0.9, n_min=5, consecutive=2),
+            rng=rng,
+        ).run()
+        assert result.best_index == 1
+
+    def test_variance_bound_handles_huge_values(self):
+        from repro.bounds import max_variance_bound
+
+        lows = np.array([1e9, 1e9])
+        highs = np.array([1e9 + 10, 1e9 + 10])
+        result = max_variance_bound(lows, highs, rho=1.0)
+        assert np.isfinite(result.sigma2_hat)
+        assert result.sigma2_hat >= 0 or result.sigma2_hat > -1e-3
+
+    def test_zipf_huge_domain(self):
+        from repro.catalog import zipf_pmf
+
+        pmf = zipf_pmf(1_000_000, 1.0)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_neyman_single_stratum(self):
+        from repro.core import neyman_allocation
+
+        alloc = neyman_allocation(
+            np.array([100]), np.array([5.0]), 30
+        )
+        assert alloc.tolist() == [30]
+
+    def test_histogram_single_value_domain(self):
+        from repro.catalog import Histogram
+
+        hist = Histogram(np.array([1.0]), bucket_count=8)
+        assert hist.eq_selectivity(0) == pytest.approx(1.0)
+        assert hist.range_selectivity(0, 0) == pytest.approx(1.0)

@@ -1,0 +1,108 @@
+"""Tests for the knockout-tournament search strategy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MatrixCostSource,
+    SelectorOptions,
+    knockout_tournament,
+)
+
+
+def _field(rng, k=8, n=2500, step=0.04):
+    tids = rng.integers(0, 6, n)
+    base = np.exp(rng.normal(3, 1.5, 6))[tids]
+    base = base * np.exp(rng.normal(0, 0.3, n))
+    cols = [
+        base * (1 + step * c) * np.exp(rng.normal(0, 0.08, n))
+        for c in range(k)
+    ]
+    return tids, np.column_stack(cols)
+
+
+class TestKnockoutTournament:
+    def test_finds_best(self, rng):
+        tids, matrix = _field(rng)
+        source = MatrixCostSource(matrix)
+        result = knockout_tournament(
+            source, tids, alpha=0.9, rng=np.random.default_rng(1)
+        )
+        assert result.best_index == source.true_best()
+
+    def test_guarantee_bounded(self, rng):
+        tids, matrix = _field(rng)
+        result = knockout_tournament(
+            MatrixCostSource(matrix), tids, alpha=0.9,
+            rng=np.random.default_rng(2),
+        )
+        assert 0.0 <= result.guarantee <= 1.0
+
+    def test_round_structure(self, rng):
+        tids, matrix = _field(rng, k=8)
+        result = knockout_tournament(
+            MatrixCostSource(matrix), tids, alpha=0.9,
+            rng=np.random.default_rng(3),
+        )
+        assert result.round_count == 3  # 8 -> 4 -> 2 -> 1
+        assert [len(r) for r in result.rounds] == [4, 2, 1]
+        # winners flow through the bracket
+        for games in result.rounds:
+            for left, right, winner in games:
+                assert winner in (left, right)
+
+    def test_odd_field_byes(self, rng):
+        tids, matrix = _field(rng, k=5)
+        source = MatrixCostSource(matrix)
+        result = knockout_tournament(
+            source, tids, alpha=0.9, rng=np.random.default_rng(4)
+        )
+        assert result.best_index == source.true_best()
+
+    def test_single_config_trivial(self, rng):
+        tids, matrix = _field(rng, k=1)
+        result = knockout_tournament(
+            MatrixCostSource(matrix), tids, rng=rng
+        )
+        assert result.best_index == 0
+        assert result.guarantee == 1.0
+        assert result.optimizer_calls == 0
+
+    def test_two_configs_single_round(self, rng):
+        tids, matrix = _field(rng, k=2)
+        result = knockout_tournament(
+            MatrixCostSource(matrix), tids, alpha=0.9,
+            rng=np.random.default_rng(5),
+        )
+        assert result.round_count == 1
+        assert result.guarantee > 0.85
+
+    def test_respects_base_options(self, rng):
+        tids, matrix = _field(rng, k=4)
+        result = knockout_tournament(
+            MatrixCostSource(matrix), tids, alpha=0.9,
+            rng=np.random.default_rng(6),
+            options=SelectorOptions(stratify="none", consecutive=3),
+        )
+        assert result.best_index is not None
+
+    def test_monte_carlo_meets_guarantee(self):
+        """The end-to-end guarantee must hold empirically."""
+        correct = 0
+        trials = 30
+        alphas = []
+        for trial in range(trials):
+            rng = np.random.default_rng(1000 + trial)
+            tids, matrix = _field(rng, k=6, step=0.05)
+            source = MatrixCostSource(matrix)
+            result = knockout_tournament(
+                source, tids, alpha=0.85,
+                rng=np.random.default_rng(trial),
+                options=SelectorOptions(consecutive=3),
+            )
+            alphas.append(result.guarantee)
+            correct += result.best_index == source.true_best()
+        frequency = correct / trials
+        assert frequency >= 0.85 - 0.15  # MC slack at 30 trials

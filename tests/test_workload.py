@@ -1,0 +1,292 @@
+"""Tests for the workload container, store and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physical import Configuration
+from repro.queries import ColumnRef, EqPredicate, Query, QueryType
+from repro.workload import (
+    FilterSlot,
+    QueryTemplate,
+    Workload,
+    WorkloadGenerator,
+    WorkloadStore,
+    crm_schema,
+    crm_templates,
+    generate_crm_workload,
+    generate_tpcd_workload,
+    tpcd_generator,
+    tpcd_schema,
+    tpcd_templates,
+)
+
+
+def _point(i: int) -> Query:
+    return Query(
+        qtype=QueryType.SELECT, tables=("orders",),
+        filters=(EqPredicate(ColumnRef("orders", "o_id"), i),),
+    )
+
+
+def _status(i: int) -> Query:
+    return Query(
+        qtype=QueryType.SELECT, tables=("orders",),
+        filters=(EqPredicate(ColumnRef("orders", "o_status"), i),),
+    )
+
+
+class TestWorkload:
+    def test_template_ids_assigned(self):
+        wl = Workload([_point(1), _point(2), _status(0)])
+        assert wl.size == 3
+        assert wl.template_count == 2
+        assert wl.template_ids[0] == wl.template_ids[1]
+        assert wl.template_ids[0] != wl.template_ids[2]
+
+    def test_indices_by_template(self):
+        wl = Workload([_point(1), _status(0), _point(2)])
+        groups = wl.indices_by_template()
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [1, 2]
+
+    def test_template_sizes(self):
+        wl = Workload([_point(i) for i in range(5)] + [_status(0)])
+        assert sorted(wl.template_sizes().values()) == [1, 5]
+
+    def test_subset_shares_registry(self):
+        wl = Workload([_point(1), _status(0), _point(2)])
+        sub = wl.subset([0, 2])
+        assert sub.size == 2
+        assert sub.registry is wl.registry
+        assert sub.template_ids[0] == wl.template_ids[0]
+
+    def test_template_names(self):
+        wl = Workload(
+            [_point(1), _status(0)], template_names=["lookup", "by_status"]
+        )
+        assert wl.registry.name_of(int(wl.template_ids[0])) == "lookup"
+
+    def test_template_names_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Workload([_point(1)], template_names=["a", "b"])
+
+    def test_dml_fraction(self):
+        update = Query(
+            qtype=QueryType.UPDATE, tables=("orders",),
+            set_columns=(ColumnRef("orders", "o_total"),),
+        )
+        wl = Workload([_point(1), update])
+        assert wl.dml_fraction() == pytest.approx(0.5)
+
+    def test_cost_vector_and_matrix(self, optimizer, empty_config,
+                                    indexed_config):
+        wl = Workload([_point(i) for i in range(4)])
+        vec = wl.cost_vector(optimizer, empty_config)
+        assert vec.shape == (4,)
+        matrix = wl.cost_matrix(optimizer, [empty_config, indexed_config])
+        assert matrix.shape == (4, 2)
+        assert wl.total_cost(optimizer, empty_config) == pytest.approx(
+            vec.sum()
+        )
+        # indexed config must win for point lookups
+        assert matrix[:, 1].sum() < matrix[:, 0].sum()
+
+
+class TestWorkloadStore:
+    def test_round_trip(self, rng):
+        wl = Workload([_point(i) for i in range(10)] + [_status(1)])
+        with WorkloadStore() as store:
+            store.load(wl)
+            assert store.count() == 11
+            back = store.read_all()
+            assert [q for _i, _t, q in back] == wl.queries
+            assert [t for _i, t, _q in back] == list(wl.template_ids)
+
+    def test_sample_without_replacement(self, rng):
+        wl = Workload([_point(i) for i in range(50)])
+        with WorkloadStore() as store:
+            store.load(wl)
+            sample = store.sample(20, rng)
+            ids = [i for i, _q in sample]
+            assert len(set(ids)) == 20
+
+    def test_sample_too_large(self, rng):
+        wl = Workload([_point(1)])
+        with WorkloadStore() as store:
+            store.load(wl)
+            with pytest.raises(ValueError):
+                store.sample(5, rng)
+
+    def test_stratified_sample(self, rng):
+        wl = Workload([_point(i) for i in range(30)] +
+                      [_status(i % 3) for i in range(10)])
+        with WorkloadStore() as store:
+            store.load(wl)
+            counts = store.template_counts()
+            assert sorted(counts.values()) == [10, 30]
+            t_small = min(counts, key=counts.get)
+            out = store.sample_stratified({t_small: 5}, rng)
+            assert len(out[t_small]) == 5
+            for _i, q in out[t_small]:
+                assert q.template_key() == _status(0).template_key()
+
+    def test_stratified_overdraw(self, rng):
+        wl = Workload([_status(0)])
+        with WorkloadStore() as store:
+            store.load(wl)
+            tid = int(wl.template_ids[0])
+            with pytest.raises(ValueError):
+                store.sample_stratified({tid: 2}, rng)
+
+    def test_read_missing_id(self):
+        with WorkloadStore() as store:
+            store.load(Workload([_point(1)]))
+            with pytest.raises(KeyError):
+                store.read([0, 99])
+
+    def test_append_load(self):
+        with WorkloadStore() as store:
+            store.load(Workload([_point(1)]))
+            store.load(Workload([_point(2)]))
+            assert store.count() == 2
+
+
+class TestGenerator:
+    def test_filter_slot_validation(self):
+        ref = ColumnRef("orders", "o_id")
+        with pytest.raises(ValueError):
+            FilterSlot(ref, "like")
+        with pytest.raises(ValueError):
+            FilterSlot(ref, "range", min_frac=0.5, max_frac=0.1)
+        with pytest.raises(ValueError):
+            FilterSlot(ref, "in", in_min=0)
+
+    def test_generator_respects_weights(self, small_schema, rng):
+        t1 = QueryTemplate(
+            name="a", qtype=QueryType.SELECT, tables=("orders",),
+            slots=(FilterSlot(ColumnRef("orders", "o_id"), "eq"),),
+        )
+        t2 = QueryTemplate(
+            name="b", qtype=QueryType.SELECT, tables=("customer",),
+            slots=(FilterSlot(ColumnRef("customer", "c_id"), "eq"),),
+        )
+        gen = WorkloadGenerator(small_schema, [t1, t2], weights=[1.0, 0.0])
+        wl = gen.generate(50, rng)
+        assert wl.template_count == 1
+        assert all(q.tables == ("orders",) for q in wl)
+
+    def test_generator_weight_validation(self, small_schema):
+        t1 = QueryTemplate(
+            name="a", qtype=QueryType.SELECT, tables=("orders",),
+        )
+        with pytest.raises(ValueError):
+            WorkloadGenerator(small_schema, [t1], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            WorkloadGenerator(small_schema, [], weights=None)
+
+    def test_range_slot_within_domain(self, small_schema, rng):
+        t = QueryTemplate(
+            name="r", qtype=QueryType.SELECT, tables=("orders",),
+            slots=(FilterSlot(ColumnRef("orders", "o_date"), "range"),),
+        )
+        gen = WorkloadGenerator(small_schema, [t])
+        for q in gen.generate(50, rng):
+            pred = q.filters[0]
+            assert 0 <= pred.lo <= pred.hi <= 999
+
+    def test_in_slot_unique_sorted(self, small_schema, rng):
+        t = QueryTemplate(
+            name="i", qtype=QueryType.SELECT, tables=("orders",),
+            slots=(FilterSlot(ColumnRef("orders", "o_status"), "in",
+                              in_min=2, in_max=4),),
+        )
+        gen = WorkloadGenerator(small_schema, [t])
+        for q in gen.generate(30, rng):
+            values = q.filters[0].values
+            assert tuple(sorted(set(values))) == values
+
+    def test_eq_values_follow_skew(self, small_schema, rng):
+        t = QueryTemplate(
+            name="e", qtype=QueryType.SELECT, tables=("customer",),
+            slots=(FilterSlot(ColumnRef("customer", "c_region"), "eq"),),
+        )
+        gen = WorkloadGenerator(small_schema, [t])
+        values = [q.filters[0].value for q in gen.generate(400, rng)]
+        # value 0 (the head of a theta=1 Zipf over 5 values) dominates
+        counts = np.bincount(values, minlength=5)
+        assert counts[0] == counts.max()
+
+    def test_deterministic_given_seed(self, small_schema):
+        t = QueryTemplate(
+            name="d", qtype=QueryType.SELECT, tables=("orders",),
+            slots=(FilterSlot(ColumnRef("orders", "o_id"), "eq"),),
+        )
+        gen = WorkloadGenerator(small_schema, [t])
+        a = gen.generate(20, np.random.default_rng(5))
+        b = gen.generate(20, np.random.default_rng(5))
+        assert a.queries == b.queries
+
+
+class TestTpcd:
+    def test_schema_shape(self):
+        schema = tpcd_schema(0.1)
+        assert len(schema) == 8
+        assert schema.table("lineitem").row_count == 600_000
+        assert len(schema.foreign_keys) == 9
+
+    def test_schema_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            tpcd_schema(0)
+
+    def test_templates_counts(self):
+        assert len(tpcd_templates(include_dml=False)) == 17
+        assert len(tpcd_templates(include_dml=True)) == 22
+
+    def test_workload_properties(self):
+        wl = generate_tpcd_workload(400, seed=3)
+        assert wl.size == 400
+        assert 15 <= wl.template_count <= 22
+        assert 0 < wl.dml_fraction() < 0.2
+        # named templates registered
+        names = {wl.registry.name_of(int(t))
+                 for t in np.unique(wl.template_ids)}
+        assert "Q1" in names
+
+    def test_workload_deterministic(self):
+        a = generate_tpcd_workload(50, seed=9)
+        b = generate_tpcd_workload(50, seed=9)
+        assert a.queries == b.queries
+
+    def test_costs_heavy_tailed(self):
+        schema = tpcd_schema()
+        wl = generate_tpcd_workload(300, seed=1, schema=schema)
+        from repro.optimizer import WhatIfOptimizer
+
+        opt = WhatIfOptimizer(schema)
+        costs = wl.cost_vector(opt, Configuration(name="empty"))
+        assert costs.max() / costs.min() > 100  # orders of magnitude
+
+
+class TestCrm:
+    def test_schema_has_500_plus_tables(self):
+        schema = crm_schema()
+        assert len(schema) > 500
+
+    def test_templates_exceed_120(self):
+        schema = crm_schema()
+        assert len(crm_templates(schema)) > 120
+
+    def test_workload_has_dml_mix(self):
+        wl = generate_crm_workload(600, seed=2)
+        kinds = {q.qtype for q in wl}
+        assert kinds >= {QueryType.SELECT, QueryType.UPDATE,
+                         QueryType.INSERT}
+        assert wl.dml_fraction() > 0.1
+
+    def test_template_frequencies_skewed(self):
+        wl = generate_crm_workload(2000, seed=2)
+        sizes = np.array(sorted(wl.template_sizes().values()))
+        # Zipf frequencies: the most common template dominates the rare
+        assert sizes[-1] > 20 * sizes[0]
