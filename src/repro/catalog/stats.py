@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -212,6 +212,18 @@ class StatisticsCatalog:
         self.schema = schema
         self.bucket_count = bucket_count
         self._tables: Dict[str, TableStatistics] = {}
+        #: Opt-in memo for per-predicate selectivity estimates, filled
+        #: by :mod:`repro.optimizer.selectivity` when enabled.  Kept off
+        #: by default so the plain optimizer path stays byte-for-byte
+        #: the historical one; estimates are pure functions of the
+        #: predicate and these statistics, so caching cannot change any
+        #: value.
+        self.selectivity_cache: Optional[Dict[object, float]] = None
+
+    def enable_selectivity_cache(self) -> None:
+        """Memoize selectivity estimates computed against this catalog."""
+        if self.selectivity_cache is None:
+            self.selectivity_cache = {}
 
     def table(self, name: str) -> TableStatistics:
         """Statistics for one table, building them on first access."""

@@ -202,6 +202,68 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_mc(args) -> int:
+    from .experiments.monte_carlo import SchemeSpec
+    from .experiments.parallel import prcs_curve, resolve_workers
+    from .experiments.profiling import PhaseTimer, cache_hit_report
+    from .optimizer.batch import cost_matrix_with_stats
+    from .physical import build_pool, enumerate_configurations
+
+    timer = PhaseTimer()
+    with timer.phase("setup"):
+        _schema, workload, optimizer = _load_setup(args)
+        pool = build_pool(
+            workload.queries[: min(300, workload.size)], optimizer
+        )
+        configs = enumerate_configurations(
+            pool, args.k, np.random.default_rng(args.seed)
+        )
+    with timer.phase("ground_truth_matrix"):
+        matrix, build_stats = cost_matrix_with_stats(
+            workload, configs, optimizer,
+            progress=None if args.json else lambda done, total: print(
+                f"  matrix: {done}/{total} queries", file=sys.stderr
+            ),
+        )
+    budgets = [int(b) for b in args.budgets.split(",")]
+    workers = resolve_workers(args.workers)
+    spec = SchemeSpec(scheme=args.scheme, stratify=args.stratify)
+    with timer.phase("monte_carlo"):
+        curve = prcs_curve(
+            matrix, workload.template_ids, spec, budgets,
+            trials=args.trials, seed=args.seed, workers=workers,
+        )
+
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "db": args.db,
+            "n_queries": workload.size,
+            "k": len(configs),
+            "scheme": spec.label,
+            "workers": workers,
+            "trials": args.trials,
+            "budgets": budgets,
+            "prcs": [float(p) for p in curve],
+            "build_stats": build_stats.as_dict(),
+            "cache_report": cache_hit_report(optimizer),
+            "phases": timer.as_dict(),
+        }, indent=2, default=float))
+        return 0
+    print(f"scheme            : {spec.label}")
+    print(f"workers           : {workers}")
+    print(f"matrix build      : {build_stats.wall_seconds:.2f}s "
+          f"({build_stats.cells_per_second:,.0f} cells/s, "
+          f"fingerprint hit rate "
+          f"{build_stats.fingerprint_hit_rate:.0%})")
+    for budget, prob in zip(budgets, curve):
+        print(f"budget {budget:>6}     : Pr(CS) = {prob:.3f} "
+              f"({args.trials} trials)")
+    print(f"total wall time   : {timer.total:.2f}s")
+    return 0
+
+
 def _cmd_explain(args) -> int:
     from .optimizer import explain_plan
     from .physical import Configuration
@@ -281,6 +343,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_mc = sub.add_parser(
+        "mc", help="Monte Carlo Pr(CS)-vs-budget curve (parallelizable)"
+    )
+    _add_common(p_mc)
+    p_mc.add_argument("--k", type=int, default=6,
+                      help="number of candidate configurations")
+    p_mc.add_argument("--budgets", default="60,120,240",
+                      help="comma-separated optimizer-call budgets")
+    p_mc.add_argument("--trials", type=int, default=100,
+                      help="Monte Carlo trials per budget")
+    p_mc.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: REPRO_WORKERS "
+                           "or 1; 0 = all CPUs); results are "
+                           "bit-identical for any value")
+    p_mc.add_argument("--scheme", choices=("delta", "independent"),
+                      default="delta")
+    p_mc.add_argument("--stratify",
+                      choices=("progressive", "none", "fine"),
+                      default="progressive")
+    p_mc.add_argument("--json", action="store_true",
+                      help="emit a JSON report (timings, cache stats)")
+    p_mc.set_defaults(func=_cmd_mc)
 
     p_exp = sub.add_parser(
         "explain", help="show a statement's plan (current vs ideal)"

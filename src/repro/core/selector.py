@@ -110,6 +110,15 @@ class SelectorOptions:
             raise ValueError(f"unknown stratify mode {self.stratify!r}")
         if self.n_min < 2:
             raise ValueError(f"n_min must be >= 2, got {self.n_min}")
+        if self.reeval_every < 1:
+            raise ValueError(
+                f"reeval_every must be >= 1, got {self.reeval_every}"
+            )
+        if self.split_check_every < 1:
+            raise ValueError(
+                f"split_check_every must be >= 1, got "
+                f"{self.split_check_every}"
+            )
 
 
 @dataclass

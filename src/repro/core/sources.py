@@ -147,3 +147,29 @@ class OptimizerCostSource(CostSource):
     @property
     def calls(self) -> int:
         return self._optimizer.calls - self._baseline_calls
+
+    @property
+    def fingerprint_hits(self) -> int:
+        """Calls served from the optimizer's fingerprint cache.
+
+        A subset of :attr:`calls` — never subtracted from the paper's
+        optimizer-call accounting.
+        """
+        return self._optimizer.fingerprint_hits
+
+    def materialize(self, progress=None) -> "MatrixCostSource":
+        """Exhaustively evaluate into a :class:`MatrixCostSource`.
+
+        Uses the batched column-major builder
+        (:func:`repro.optimizer.batch.cost_matrix`) so configurations
+        sharing query-relevant structures share plan searches.  The full
+        ``N * k`` evaluations are still counted as optimizer calls.
+        """
+        from ..optimizer.batch import cost_matrix
+
+        return MatrixCostSource(
+            cost_matrix(
+                self._workload, self._configs, self._optimizer,
+                progress=progress,
+            )
+        )

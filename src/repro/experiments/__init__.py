@@ -21,6 +21,13 @@ from .calibration import (
     CalibrationReport,
     measure_calibration,
 )
+from .parallel import (
+    multi_config_table as parallel_multi_config_table,
+    prcs_curve as parallel_prcs_curve,
+    resolve_workers,
+    spawn_trial_rngs,
+)
+from .profiling import PhaseTimer, cache_hit_report
 from .figures import ascii_chart, write_series_csv
 from .report import format_kv, format_series, format_table
 
@@ -44,6 +51,12 @@ __all__ = [
     "CalibrationBucket",
     "CalibrationReport",
     "measure_calibration",
+    "parallel_multi_config_table",
+    "parallel_prcs_curve",
+    "resolve_workers",
+    "spawn_trial_rngs",
+    "PhaseTimer",
+    "cache_hit_report",
     "ascii_chart",
     "write_series_csv",
     "format_kv",

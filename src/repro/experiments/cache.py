@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import tempfile
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -49,5 +50,20 @@ def cached_matrix(
         except Exception:
             path.unlink(missing_ok=True)
     matrix = builder()
-    np.savez_compressed(path, matrix=matrix, key=np.array(key))
+    # Atomic publish: write to a temp file in the same directory, then
+    # os.replace — concurrent benchmark workers either see the complete
+    # file or none at all, never a truncated .npz.
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.stem + "_", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, matrix=matrix, key=np.array(key))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return matrix

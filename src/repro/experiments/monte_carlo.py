@@ -214,6 +214,20 @@ def _is_correct(totals: np.ndarray, chosen: int, delta: float) -> bool:
     return regret <= delta + 1e-9 * max(1.0, float(abs(totals.min())))
 
 
+def _curve_trial_seed(seed: int, b_idx: int, trial: int) -> int:
+    """Deterministic per-(budget, trial) seed for :func:`prcs_curve`.
+
+    Shared with :mod:`repro.experiments.parallel` so parallel replay of
+    the same trials is bit-identical to the serial loop.
+    """
+    return (seed * 1_000_003 + b_idx * 7_919 + trial) & 0x7FFFFFFF
+
+
+def _table_trial_seed(seed: int, trial: int) -> int:
+    """Deterministic per-trial seed for :func:`multi_config_table`."""
+    return (seed * 99_991 + trial) & 0x7FFFFFFF
+
+
 def prcs_curve(
     matrix: np.ndarray,
     template_ids: np.ndarray,
@@ -236,7 +250,7 @@ def prcs_curve(
         correct = 0
         for trial in range(trials):
             rng = np.random.default_rng(
-                (seed * 1_000_003 + b_idx * 7_919 + trial) & 0x7FFFFFFF
+                _curve_trial_seed(seed, b_idx, trial)
             )
             chosen = select_fixed_budget(
                 matrix, template_ids, spec, budget, rng, n_min=n_min,
@@ -257,6 +271,116 @@ class MultiConfigRow:
     max_delta_pct: float
     mean_calls: float
     mean_queries: float
+
+
+def _table_trial(
+    matrix: np.ndarray,
+    template_ids: np.ndarray,
+    groups_map: Dict[int, np.ndarray],
+    trial: int,
+    seed: int,
+    alpha: float,
+    delta: float,
+    n_min: int,
+    consecutive: int,
+    reeval_every: int,
+) -> Dict[str, Tuple[int, float, float]]:
+    """One Monte Carlo trial of the Table 2/3 protocol.
+
+    Returns ``method -> (chosen, optimizer_calls, queries_sampled)``.
+    The trial's RNG stream is fully determined by ``(seed, trial)``,
+    which is what makes parallel replay bit-identical to the serial
+    loop (see :mod:`repro.experiments.parallel`).
+    """
+    N, k = matrix.shape
+    rng = np.random.default_rng(_table_trial_seed(seed, trial))
+    source = MatrixCostSource(matrix)
+    options = SelectorOptions(
+        alpha=alpha,
+        delta=delta,
+        scheme="delta",
+        stratify="progressive",
+        n_min=n_min,
+        consecutive=consecutive,
+        eliminate=True,
+        reeval_every=reeval_every,
+    )
+    result = ConfigurationSelector(
+        source, template_ids, options, rng=rng
+    ).run()
+    m = max(2, result.queries_sampled)
+
+    # (a) no stratification: plain uniform shared sample of size m.
+    rows = rng.choice(N, size=min(m, N), replace=False)
+    nostrat_choice = int(np.argmin(matrix[rows].sum(axis=0)))
+
+    # (b) equal allocation across the primitive's final strata.
+    strata_groups = [
+        np.concatenate([groups_map[t] for t in stratum])
+        for stratum in result.final_strata
+    ]
+    L = len(strata_groups)
+    per = max(1, m // max(1, L))
+    alloc = np.array(
+        [min(per, len(g)) for g in strata_groups], dtype=int
+    )
+    est = _stratified_estimate_fixed(
+        matrix, strata_groups, alloc, rng, shared=True
+    )
+    return {
+        "delta": (
+            result.best_index, float(result.optimizer_calls), float(m)
+        ),
+        "nostrat": (nostrat_choice, float(m * k), float(m)),
+        "equal": (
+            int(np.argmin(est)), float(int(alloc.sum()) * k),
+            float(alloc.sum()),
+        ),
+    }
+
+
+def _reduce_table_records(
+    totals: np.ndarray,
+    records: Sequence[Dict[str, Tuple[int, float, float]]],
+    trials: int,
+    delta: float,
+) -> List[MultiConfigRow]:
+    """Fold per-trial records into Table rows, in trial order.
+
+    The reduction order matches the historical serial accumulation
+    exactly, so serial and parallel runs produce bit-identical floats.
+    """
+    stats = {
+        name: {"correct": 0, "worst": 0.0, "calls": 0.0, "queries": 0.0}
+        for name in ("delta", "nostrat", "equal")
+    }
+    for rec in records:
+        for name in ("delta", "nostrat", "equal"):
+            chosen, calls, queries = rec[name]
+            entry = stats[name]
+            if _is_correct(totals, chosen, delta):
+                entry["correct"] += 1
+            regret = (totals[chosen] - totals.min()) / totals.min() * 100.0
+            entry["worst"] = max(entry["worst"], float(regret))
+            entry["calls"] += calls
+            entry["queries"] += queries
+    rows_out = []
+    for name, label in (
+        ("delta", "Delta-Sampling"),
+        ("nostrat", "No Strat."),
+        ("equal", "Equal Alloc."),
+    ):
+        entry = stats[name]
+        rows_out.append(
+            MultiConfigRow(
+                method=label,
+                true_prcs=entry["correct"] / trials,
+                max_delta_pct=entry["worst"],
+                mean_calls=entry["calls"] / trials,
+                mean_queries=entry["queries"] / trials,
+            )
+        )
+    return rows_out
 
 
 def multi_config_table(
@@ -282,80 +406,13 @@ def multi_config_table(
       strata the primitive built.
     """
     totals = matrix.sum(axis=0)
-    N, k = matrix.shape
     template_ids = np.asarray(template_ids, dtype=np.int64)
     groups_map = _template_groups(template_ids)
-
-    stats = {
-        "delta": {"correct": 0, "worst": 0.0, "calls": 0.0, "queries": 0.0},
-        "nostrat": {"correct": 0, "worst": 0.0, "calls": 0.0,
-                    "queries": 0.0},
-        "equal": {"correct": 0, "worst": 0.0, "calls": 0.0, "queries": 0.0},
-    }
-
-    def record(name: str, chosen: int, calls: float, queries: float) -> None:
-        entry = stats[name]
-        if _is_correct(totals, chosen, delta):
-            entry["correct"] += 1
-        regret = (totals[chosen] - totals.min()) / totals.min() * 100.0
-        entry["worst"] = max(entry["worst"], float(regret))
-        entry["calls"] += calls
-        entry["queries"] += queries
-
-    for trial in range(trials):
-        rng = np.random.default_rng((seed * 99_991 + trial) & 0x7FFFFFFF)
-        source = MatrixCostSource(matrix)
-        options = SelectorOptions(
-            alpha=alpha,
-            delta=delta,
-            scheme="delta",
-            stratify="progressive",
-            n_min=n_min,
-            consecutive=consecutive,
-            eliminate=True,
-            reeval_every=reeval_every,
+    records = [
+        _table_trial(
+            matrix, template_ids, groups_map, trial, seed,
+            alpha, delta, n_min, consecutive, reeval_every,
         )
-        result = ConfigurationSelector(
-            source, template_ids, options, rng=rng
-        ).run()
-        m = max(2, result.queries_sampled)
-        record("delta", result.best_index, result.optimizer_calls, m)
-
-        # (a) no stratification: plain uniform shared sample of size m.
-        rows = rng.choice(N, size=min(m, N), replace=False)
-        record("nostrat", int(np.argmin(matrix[rows].sum(axis=0))),
-               m * k, m)
-
-        # (b) equal allocation across the primitive's final strata.
-        strata_groups = [
-            np.concatenate([groups_map[t] for t in stratum])
-            for stratum in result.final_strata
-        ]
-        L = len(strata_groups)
-        per = max(1, m // max(1, L))
-        alloc = np.array(
-            [min(per, len(g)) for g in strata_groups], dtype=int
-        )
-        est = _stratified_estimate_fixed(
-            matrix, strata_groups, alloc, rng, shared=True
-        )
-        record("equal", int(np.argmin(est)), int(alloc.sum()) * k,
-               float(alloc.sum()))
-
-    rows_out = []
-    for name, label in (
-        ("delta", "Delta-Sampling"),
-        ("nostrat", "No Strat."),
-        ("equal", "Equal Alloc."),
-    ):
-        entry = stats[name]
-        rows_out.append(
-            MultiConfigRow(
-                method=label,
-                true_prcs=entry["correct"] / trials,
-                max_delta_pct=entry["worst"],
-                mean_calls=entry["calls"] / trials,
-                mean_queries=entry["queries"] / trials,
-            )
-        )
-    return rows_out
+        for trial in range(trials)
+    ]
+    return _reduce_table_records(totals, records, trials, delta)

@@ -1,0 +1,237 @@
+"""Process-parallel Monte Carlo replay (bit-identical to serial).
+
+The Monte Carlo protocol replays thousands of independent selection
+runs against one in-memory ground-truth matrix — embarrassingly
+parallel work that the serial loops in
+:mod:`repro.experiments.monte_carlo` leave on the table.  This module
+fans the trials out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+while guaranteeing **bit-identical results** to the serial loop for the
+same seed:
+
+* every trial's generator is derived from ``(seed, budget, trial)``
+  alone (the exact formulas the serial loops use), so a trial computes
+  the same selection no matter which worker runs it;
+* workers return per-trial records, and the parent folds them in trial
+  order with the same reduction the serial path uses — float
+  accumulation order is preserved, so even non-associative sums match
+  to the last bit.
+
+Worker count resolution: an explicit ``workers`` argument wins, then
+the ``REPRO_WORKERS`` environment variable; ``0`` or negative means
+"all CPUs".  The default (unset) is 1, i.e. the serial path.
+
+For *new* experiments that need independent streams without a legacy
+stream to replay, :func:`spawn_trial_rngs` derives per-trial generators
+via ``np.random.SeedSequence.spawn`` — statistically independent by
+construction and just as deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .monte_carlo import (
+    MultiConfigRow,
+    SchemeSpec,
+    _curve_trial_seed,
+    _is_correct,
+    _reduce_table_records,
+    _table_trial,
+    _template_groups,
+    multi_config_table as _serial_multi_config_table,
+    prcs_curve as _serial_prcs_curve,
+    select_fixed_budget,
+)
+
+__all__ = [
+    "resolve_workers",
+    "spawn_trial_rngs",
+    "prcs_curve",
+    "multi_config_table",
+]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: argument, then ``REPRO_WORKERS``, then 1.
+
+    ``0`` or a negative value (from either source) means "use all
+    CPUs".
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = int(raw) if raw else 1
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def spawn_trial_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """``count`` independent generators via ``SeedSequence.spawn``.
+
+    Deterministic in ``seed`` and safe to hand one-per-trial to
+    concurrent workers; used by experiments that do not need to replay
+    a historical serial stream.
+    """
+    return [
+        np.random.default_rng(child)
+        for child in np.random.SeedSequence(seed).spawn(count)
+    ]
+
+
+def _chunked(items: Sequence, n_chunks: int) -> List[List]:
+    """Split ``items`` into at most ``n_chunks`` contiguous chunks."""
+    n = len(items)
+    n_chunks = max(1, min(n_chunks, n))
+    size = -(-n // n_chunks)
+    return [list(items[i:i + size]) for i in range(0, n, size)]
+
+
+# ----------------------------------------------------------------------
+# worker-side state (populated once per worker by the pool initializer,
+# so the matrix is pickled once per worker instead of once per chunk)
+# ----------------------------------------------------------------------
+_STATE: Dict[str, np.ndarray] = {}
+
+
+def _init_worker(matrix: np.ndarray, template_ids: np.ndarray) -> None:
+    _STATE["matrix"] = matrix
+    _STATE["template_ids"] = template_ids
+    _STATE["groups_map"] = _template_groups(template_ids)
+
+
+def _curve_chunk(args: Tuple) -> List[Tuple[int, int, int]]:
+    """Run a chunk of (budget-index, trial) tasks; return selections."""
+    spec, budgets, seed, n_min, reeval_every, tasks = args
+    matrix = _STATE["matrix"]
+    template_ids = _STATE["template_ids"]
+    out = []
+    for b_idx, trial in tasks:
+        rng = np.random.default_rng(_curve_trial_seed(seed, b_idx, trial))
+        chosen = select_fixed_budget(
+            matrix, template_ids, spec, budgets[b_idx], rng,
+            n_min=n_min, reeval_every=reeval_every,
+        )
+        out.append((b_idx, trial, chosen))
+    return out
+
+
+def _table_chunk(args: Tuple) -> List[Tuple[int, Dict]]:
+    """Run a chunk of Table 2/3 trials; return per-trial records."""
+    seed, alpha, delta, n_min, consecutive, reeval_every, trials = args
+    matrix = _STATE["matrix"]
+    template_ids = _STATE["template_ids"]
+    groups_map = _STATE["groups_map"]
+    return [
+        (
+            trial,
+            _table_trial(
+                matrix, template_ids, groups_map, trial, seed,
+                alpha, delta, n_min, consecutive, reeval_every,
+            ),
+        )
+        for trial in trials
+    ]
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def prcs_curve(
+    matrix: np.ndarray,
+    template_ids: np.ndarray,
+    spec: SchemeSpec,
+    budgets: Sequence[int],
+    trials: int,
+    seed: int = 0,
+    delta: float = 0.0,
+    n_min: int = 30,
+    reeval_every: int = 4,
+    workers: Optional[int] = None,
+    chunks_per_worker: int = 4,
+) -> np.ndarray:
+    """Parallel :func:`repro.experiments.monte_carlo.prcs_curve`.
+
+    Bit-identical to the serial function for any worker count; with
+    ``workers <= 1`` it simply delegates to it.
+    """
+    workers = resolve_workers(workers)
+    budgets = list(budgets)
+    if workers <= 1:
+        return _serial_prcs_curve(
+            matrix, template_ids, spec, budgets, trials, seed=seed,
+            delta=delta, n_min=n_min, reeval_every=reeval_every,
+        )
+    matrix = np.asarray(matrix, dtype=np.float64)
+    template_ids = np.asarray(template_ids, dtype=np.int64)
+    tasks = [
+        (b_idx, trial)
+        for b_idx in range(len(budgets))
+        for trial in range(trials)
+    ]
+    payloads = [
+        (spec, budgets, seed, n_min, reeval_every, chunk)
+        for chunk in _chunked(tasks, workers * chunks_per_worker)
+    ]
+    totals = matrix.sum(axis=0)
+    correct = np.zeros(len(budgets), dtype=np.int64)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(matrix, template_ids),
+    ) as pool:
+        for chunk_result in pool.map(_curve_chunk, payloads):
+            for b_idx, _trial, chosen in chunk_result:
+                if _is_correct(totals, chosen, delta):
+                    correct[b_idx] += 1
+    return correct / trials
+
+
+def multi_config_table(
+    matrix: np.ndarray,
+    template_ids: np.ndarray,
+    alpha: float = 0.9,
+    delta: float = 0.0,
+    trials: int = 100,
+    seed: int = 0,
+    n_min: int = 30,
+    consecutive: int = 10,
+    reeval_every: int = 4,
+    workers: Optional[int] = None,
+    chunks_per_worker: int = 4,
+) -> List[MultiConfigRow]:
+    """Parallel :func:`repro.experiments.monte_carlo.multi_config_table`.
+
+    Bit-identical to the serial function for any worker count: workers
+    compute per-trial records, the parent reduces them in trial order
+    with the shared serial reduction.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return _serial_multi_config_table(
+            matrix, template_ids, alpha=alpha, delta=delta, trials=trials,
+            seed=seed, n_min=n_min, consecutive=consecutive,
+            reeval_every=reeval_every,
+        )
+    matrix = np.asarray(matrix, dtype=np.float64)
+    template_ids = np.asarray(template_ids, dtype=np.int64)
+    payloads = [
+        (seed, alpha, delta, n_min, consecutive, reeval_every, chunk)
+        for chunk in _chunked(
+            list(range(trials)), workers * chunks_per_worker
+        )
+    ]
+    records: List[Optional[Dict]] = [None] * trials
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(matrix, template_ids),
+    ) as pool:
+        for chunk_result in pool.map(_table_chunk, payloads):
+            for trial, record in chunk_result:
+                records[trial] = record
+    totals = matrix.sum(axis=0)
+    return _reduce_table_records(totals, records, trials, delta)

@@ -1,0 +1,79 @@
+"""Lightweight wall-time and cache-hit profiling for benchmarks.
+
+The performance work in this repository is judged on two axes: the
+paper's metric (optimizer calls, which the caching layers must never
+change) and wall-clock time (which they must improve).  This module
+provides the small instrumentation surface the benchmarks and the CLI
+use to report both in JSON:
+
+* :class:`PhaseTimer` — accumulate named per-phase wall times;
+* :func:`cache_hit_report` — layered hit rates of a
+  :class:`~repro.optimizer.whatif.WhatIfOptimizer`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["PhaseTimer", "cache_hit_report"]
+
+
+class PhaseTimer:
+    """Accumulates wall time per named phase.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("build_matrix"):
+            ...
+        timer.as_dict()  # {"build_matrix": 1.23}
+
+    Re-entering a phase name accumulates; phases keep first-use order.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block of work under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+
+    def seconds(self, name: str) -> float:
+        """Accumulated wall time of one phase (0.0 if never entered)."""
+        return self._seconds.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase times."""
+        return sum(self._seconds.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase -> seconds, in first-use order (JSON-friendly)."""
+        return dict(self._seconds)
+
+
+def cache_hit_report(optimizer) -> Dict[str, float]:
+    """Layered cache statistics of a what-if optimizer, with rates.
+
+    ``calls`` is the paper's efficiency metric and is unaffected by the
+    fingerprint layer; ``fingerprint_hit_rate`` is the fraction of
+    those calls that skipped plan search (wall-clock savings only).
+    """
+    stats = dict(optimizer.cache_stats)
+    lookups = stats["calls"] + stats["cache_hits"]
+    stats["pair_hit_rate"] = (
+        stats["cache_hits"] / lookups if lookups else 0.0
+    )
+    stats["fingerprint_hit_rate"] = (
+        stats["fingerprint_hits"] / stats["calls"] if stats["calls"]
+        else 0.0
+    )
+    return stats

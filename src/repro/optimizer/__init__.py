@@ -8,6 +8,7 @@ selectivity, access-path, join, view and DML costing layers beneath it.
 
 from .access_paths import AccessPath, best_access_path, needed_columns, \
     suggest_index
+from .batch import MatrixBuildStats, cost_matrix, cost_matrix_with_stats
 from .explain import explain_plan
 from .joins import JoinPlan, JoinStep, plan_joins
 from .params import DEFAULT_PARAMS, CostParams
@@ -24,6 +25,9 @@ from .whatif import QueryPlan, WhatIfOptimizer
 
 __all__ = [
     "explain_plan",
+    "MatrixBuildStats",
+    "cost_matrix",
+    "cost_matrix_with_stats",
     "AccessPath",
     "best_access_path",
     "needed_columns",

@@ -36,7 +36,14 @@ from .selectivity import (
     table_selectivity,
 )
 
-__all__ = ["AccessPath", "needed_columns", "best_access_path", "suggest_index"]
+__all__ = [
+    "AccessPath",
+    "needed_columns",
+    "heap_scan_path",
+    "index_access_path",
+    "best_access_path",
+    "suggest_index",
+]
 
 
 @dataclass(frozen=True)
@@ -95,7 +102,7 @@ def _key_prefix_selectivity(
     return sel, used
 
 
-def _heap_scan(
+def heap_scan_path(
     query: Query,
     table: str,
     schema: Schema,
@@ -109,6 +116,46 @@ def _heap_scan(
     return AccessPath("heap_scan", table, None, cost, output_rows)
 
 
+def index_access_path(
+    index: Index,
+    table: str,
+    filters: List[Predicate],
+    needed: FrozenSet[str],
+    row_count: int,
+    output_rows: float,
+    schema: Schema,
+    stats: StatisticsCatalog,
+    params: CostParams,
+) -> Optional[AccessPath]:
+    """The path (seek or covering scan) ``index`` offers, if any.
+
+    Depends only on the index and per-``(query, table)`` quantities —
+    never on the rest of the configuration — which is what lets the
+    what-if optimizer cost each index once and reuse the result across
+    every configuration containing it.
+    """
+    leaf_pages = index.leaf_pages(schema, params.page_bytes)
+    covering = index.covers(needed)
+    key_sel, used = _key_prefix_selectivity(index, filters, stats)
+    if used > 0:
+        matching = max(1.0, row_count * key_sel)
+        cost = (
+            params.seek_cost
+            + key_sel * leaf_pages * params.seq_page_cost
+            + matching * params.cpu_row_cost
+        )
+        if not covering:
+            cost += matching * params.random_page_cost
+        return AccessPath("index_seek", table, index, cost, output_rows)
+    if covering:
+        cost = (
+            leaf_pages * params.seq_page_cost
+            + row_count * params.cpu_row_cost
+        )
+        return AccessPath("covering_scan", table, index, cost, output_rows)
+    return None
+
+
 def _index_paths(
     query: Query,
     table: str,
@@ -119,33 +166,16 @@ def _index_paths(
     needed: FrozenSet[str],
     output_rows: float,
 ) -> List[AccessPath]:
-    paths: List[AccessPath] = []
     filters = query.filters_on(table)
     row_count = schema.table(table).row_count
+    paths: List[AccessPath] = []
     for index in config.indexes_on(table):
-        leaf_pages = index.leaf_pages(schema, params.page_bytes)
-        covering = index.covers(needed)
-        key_sel, used = _key_prefix_selectivity(index, filters, stats)
-        if used > 0:
-            matching = max(1.0, row_count * key_sel)
-            cost = (
-                params.seek_cost
-                + key_sel * leaf_pages * params.seq_page_cost
-                + matching * params.cpu_row_cost
-            )
-            if not covering:
-                cost += matching * params.random_page_cost
-            paths.append(
-                AccessPath("index_seek", table, index, cost, output_rows)
-            )
-        elif covering:
-            cost = (
-                leaf_pages * params.seq_page_cost
-                + row_count * params.cpu_row_cost
-            )
-            paths.append(
-                AccessPath("covering_scan", table, index, cost, output_rows)
-            )
+        path = index_access_path(
+            index, table, filters, needed, row_count, output_rows,
+            schema, stats, params,
+        )
+        if path is not None:
+            paths.append(path)
     return paths
 
 
@@ -160,7 +190,7 @@ def best_access_path(
     """Choose the cheapest access path for ``table`` under ``config``."""
     sel = table_selectivity(query, table, stats)
     output_rows = max(1.0, schema.table(table).row_count * sel)
-    best = _heap_scan(query, table, schema, stats, params, output_rows)
+    best = heap_scan_path(query, table, schema, stats, params, output_rows)
     for path in _index_paths(
         query, table, schema, stats, params, config, needed_columns(
             query, table

@@ -24,7 +24,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..catalog.schema import Schema
 from ..catalog.stats import StatisticsCatalog
@@ -36,7 +44,19 @@ from .params import CostParams
 from .selectivity import join_selectivity, table_selectivity
 
 __all__ = ["JoinStep", "JoinPlan", "plan_joins", "plan_joins_over",
-           "Intermediate"]
+           "join_context", "Intermediate", "JoinContext"]
+
+#: Precomputed per-query join facts: one ``(left_table, right_table,
+#: predicate, selectivity)`` entry per join predicate, in predicate
+#: order.  Pure query structure + statistics — independent of the
+#: configuration — so a caller planning one query under many
+#: configurations can compute it once (see ``join_context``).
+JoinContext = Tuple[Tuple[str, str, JoinPredicate, float], ...]
+
+#: ``(query, table) -> needed columns`` used by the covering check of
+#: index-nested-loop joins.  Callers planning one query many times can
+#: pass a memoized implementation; the default recomputes.
+NeededFn = Callable[[Query, str], FrozenSet[str]]
 
 
 @dataclass(frozen=True)
@@ -70,15 +90,22 @@ class _Intermediate:
     is_base: bool
 
 
+def join_context(query: Query, stats: StatisticsCatalog) -> JoinContext:
+    """Build the :data:`JoinContext` of one query."""
+    return tuple(
+        (jp.left.table, jp.right.table, jp, join_selectivity(jp, stats))
+        for jp in query.join_predicates
+    )
+
+
 def _predicates_between(
-    preds: Sequence[JoinPredicate], a: FrozenSet[str], b: FrozenSet[str]
-) -> List[JoinPredicate]:
-    """Join predicates with one side in ``a`` and the other in ``b``."""
+    ctx: JoinContext, a: FrozenSet[str], b: FrozenSet[str]
+) -> List[Tuple[JoinPredicate, float]]:
+    """Join predicates (with selectivity) spanning ``a`` and ``b``."""
     out = []
-    for jp in preds:
-        t1, t2 = jp.tables()
+    for t1, t2, jp, sel in ctx:
         if (t1 in a and t2 in b) or (t1 in b and t2 in a):
-            out.append(jp)
+            out.append((jp, sel))
     return out
 
 
@@ -136,7 +163,7 @@ def _merge_join_cost(
 
 def _inl_candidate(
     inner: _Intermediate,
-    preds: Sequence[JoinPredicate],
+    preds: Sequence[Tuple[JoinPredicate, float]],
     config: Configuration,
     query: Query,
     schema: Schema,
@@ -150,7 +177,7 @@ def _inl_candidate(
     if not inner.is_base:
         return None
     (table,) = inner.tables
-    for jp in preds:
+    for jp, _sel in preds:
         inner_col = (
             jp.left.column if jp.left.table == table else jp.right.column
         )
@@ -183,17 +210,18 @@ def _inl_cost(
 def _merge(
     a: _Intermediate,
     b: _Intermediate,
-    preds: Sequence[JoinPredicate],
+    preds: Sequence[Tuple[JoinPredicate, float]],
     query: Query,
     config: Configuration,
     schema: Schema,
     stats: StatisticsCatalog,
     params: CostParams,
+    needed_fn: NeededFn = needed_columns,
 ) -> Tuple[_Intermediate, JoinStep]:
     """Join two intermediates along ``preds`` with the cheaper operator."""
     combined_sel = 1.0
-    for jp in preds:
-        combined_sel *= join_selectivity(jp, stats)
+    for _jp, sel in preds:
+        combined_sel *= sel
     output_rows = max(1.0, a.rows * b.rows * combined_sel)
 
     hash_cost = _hash_cost(a.rows, b.rows, params)
@@ -205,7 +233,7 @@ def _merge(
     # Sort-merge join (single equi-join predicate): wins when ordered
     # covering indexes make both inputs pre-sorted.
     if len(preds) == 1:
-        merge_cost = _merge_join_cost(a, b, preds[0], config, params)
+        merge_cost = _merge_join_cost(a, b, preds[0][0], config, params)
         total = a.cost + b.cost + merge_cost
         if total < best_cost:
             best_cost = total
@@ -219,7 +247,7 @@ def _merge(
             continue
         index, _jp = candidate
         (inner_table,) = inner.tables
-        covering = index.covers(needed_columns(query, inner_table))
+        covering = index.covers(needed_fn(query, inner_table))
         operator_cost = _inl_cost(
             outer.rows, inner_table, combined_sel, covering, query, schema,
             stats, params,
@@ -263,6 +291,8 @@ def plan_joins(
     schema: Schema,
     stats: StatisticsCatalog,
     params: CostParams,
+    ctx: Optional[JoinContext] = None,
+    needed_fn: NeededFn = needed_columns,
 ) -> JoinPlan:
     """Greedily order and cost all joins of ``query``.
 
@@ -281,7 +311,7 @@ def plan_joins(
         for t, path in paths.items()
     ]
     return plan_joins_over(
-        intermediates, query, config, schema, stats, params
+        intermediates, query, config, schema, stats, params, ctx, needed_fn
     )
 
 
@@ -292,14 +322,20 @@ def plan_joins_over(
     schema: Schema,
     stats: StatisticsCatalog,
     params: CostParams,
+    ctx: Optional[JoinContext] = None,
+    needed_fn: NeededFn = needed_columns,
 ) -> JoinPlan:
     """Greedy join planning over pre-built intermediates.
 
     Exposed separately so the view-matching layer can seed the search
     with a view-scan intermediate standing in for several base tables.
+    ``ctx`` optionally supplies the query's precomputed
+    :data:`JoinContext`; when omitted it is built in place (identical
+    values either way).
     """
     work = list(intermediates)
-    preds = query.join_predicates
+    if ctx is None:
+        ctx = join_context(query, stats)
     steps: List[JoinStep] = []
 
     while len(work) > 1:
@@ -308,13 +344,13 @@ def plan_joins_over(
         for i in range(len(work)):
             for j in range(i + 1, len(work)):
                 between = _predicates_between(
-                    preds, work[i].tables, work[j].tables
+                    ctx, work[i].tables, work[j].tables
                 )
                 if not between:
                     continue
                 sel = 1.0
-                for jp in between:
-                    sel *= join_selectivity(jp, stats)
+                for _jp, s in between:
+                    sel *= s
                 rows = work[i].rows * work[j].rows * sel
                 if rows < best_rows:
                     best_rows = rows
@@ -335,9 +371,10 @@ def plan_joins_over(
             work = [merged] + work[2:]
             continue
         i, j = best_pair
-        between = _predicates_between(preds, work[i].tables, work[j].tables)
+        between = _predicates_between(ctx, work[i].tables, work[j].tables)
         merged, step = _merge(
-            work[i], work[j], between, query, config, schema, stats, params
+            work[i], work[j], between, query, config, schema, stats, params,
+            needed_fn,
         )
         steps.append(step)
         work = [w for k, w in enumerate(work) if k not in (i, j)]

@@ -40,7 +40,26 @@ MIN_SELECTIVITY = 1e-9
 def predicate_selectivity(
     pred: Predicate, stats: StatisticsCatalog
 ) -> float:
-    """Histogram-estimated selectivity of one filter predicate."""
+    """Histogram-estimated selectivity of one filter predicate.
+
+    A pure function of the predicate and the catalog; when the catalog
+    has its opt-in selectivity cache enabled, repeat estimates are
+    dictionary lookups.
+    """
+    cache = stats.selectivity_cache
+    if cache is not None:
+        cached = cache.get(pred)
+        if cached is not None:
+            return cached
+        sel = _predicate_selectivity(pred, stats)
+        cache[pred] = sel
+        return sel
+    return _predicate_selectivity(pred, stats)
+
+
+def _predicate_selectivity(
+    pred: Predicate, stats: StatisticsCatalog
+) -> float:
     col_stats = stats.column(pred.column.table, pred.column.column)
     if isinstance(pred, EqPredicate):
         sel = col_stats.estimate_eq(pred.value)
@@ -67,7 +86,15 @@ def table_selectivity(
     query: Query, table: str, stats: StatisticsCatalog
 ) -> float:
     """Combined selectivity of all of ``query``'s filters on ``table``."""
-    return conjunction_selectivity(query.filters_on(table), stats)
+    cache = stats.selectivity_cache
+    if cache is None:
+        return conjunction_selectivity(query.filters_on(table), stats)
+    key = ("tsel", query, table)
+    cached = cache.get(key)
+    if cached is None:
+        cached = conjunction_selectivity(query.filters_on(table), stats)
+        cache[key] = cached
+    return cached
 
 
 def filtered_cardinality(
@@ -80,7 +107,15 @@ def filtered_cardinality(
 
 def join_selectivity(jp: JoinPredicate, stats: StatisticsCatalog) -> float:
     """Equi-join selectivity ``1 / max(d_left, d_right)``."""
+    cache = stats.selectivity_cache
+    if cache is not None:
+        cached = cache.get(jp)
+        if cached is not None:
+            return cached
     left = stats.column(jp.left.table, jp.left.column)
     right = stats.column(jp.right.table, jp.right.column)
     denom = max(left.distinct_count, right.distinct_count, 1)
-    return max(MIN_SELECTIVITY, 1.0 / denom)
+    sel = max(MIN_SELECTIVITY, 1.0 / denom)
+    if cache is not None:
+        cache[jp] = sel
+    return sel

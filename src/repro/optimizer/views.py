@@ -85,43 +85,18 @@ def view_scan_cost(
     return pages * params.seq_page_cost + rows * params.cpu_row_cost
 
 
-def _filters_survive(view: MaterializedView, query: Query) -> bool:
-    """Whether every residual filter column survives in the view."""
-    if not view.group_by:
-        return True  # join views keep all base columns
-    kept = {(ref.table, ref.column) for ref in view.group_by}
-    for pred in query.filters:
-        key = (pred.column.table, pred.column.column)
-        if pred.column.table in view.table_set and key not in kept:
-            return False
-    return True
-
-
 def matching_views(
     query: Query, config: Configuration
 ) -> List[MaterializedView]:
-    """All views of ``config`` applicable to ``query``."""
+    """All views of ``config`` applicable to ``query``.
+
+    Applicability itself lives on
+    :meth:`repro.physical.structures.MaterializedView.matches_select`,
+    shared with configuration fingerprinting.
+    """
     if query.qtype != QueryType.SELECT:
         return []
-    query_tables = set(query.tables)
-    query_edges = frozenset(
-        jp.template_part() for jp in query.join_predicates
-    )
-    matches: List[MaterializedView] = []
-    for view in config.views:
-        if not view.table_set <= query_tables:
-            continue
-        if not view.join_edge_keys() <= query_edges:
-            continue
-        if view.group_by:
-            if view.table_set != query_tables:
-                continue
-            if tuple(view.group_by) != tuple(query.group_by):
-                continue
-        if not _filters_survive(view, query):
-            continue
-        matches.append(view)
-    return matches
+    return [view for view in config.views if view.matches_select(query)]
 
 
 def view_intermediate(

@@ -13,12 +13,64 @@ the cost-bounding machinery in :mod:`repro.bounds.cost_bounds` exploits.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from ..catalog.schema import Schema
+from ..queries.ast import Query, QueryType
 from .structures import Index, MaterializedView
 
 __all__ = ["Configuration", "base_configuration"]
+
+#: A hashable projection of a configuration onto one query: the frozenset
+#: of indexes and the frozenset of views that can influence the query's
+#: optimizer cost.  Two configurations with equal fingerprints for a query
+#: are guaranteed to cost it identically.
+Fingerprint = Tuple[FrozenSet[Index], FrozenSet[MaterializedView]]
+
+
+@lru_cache(maxsize=None)
+def _select_relevance(
+    query: Query,
+) -> Tuple[Tuple[str, FrozenSet[str], FrozenSet[str]], ...]:
+    """Per-table ``(table, seekable-columns, needed-columns)`` of a query.
+
+    An index can influence a SELECT plan only by *seeking* (its leading
+    key column carries a filter, or equals a join column, enabling
+    index-nested-loop and merge joins) or by *covering* (its leaf level
+    contains every referenced column of the table).  These column sets
+    are pure query structure, so they are computed once per query.
+    """
+    needed_by_table: Dict[str, set] = {}
+    for ref in query.referenced_columns():
+        needed_by_table.setdefault(ref.table, set()).add(ref.column)
+    out = []
+    for table in query.tables:
+        seekable = {
+            f.column.column for f in query.filters
+            if f.column.table == table
+        }
+        for jp in query.join_predicates:
+            if jp.left.table == table:
+                seekable.add(jp.left.column)
+            if jp.right.table == table:
+                seekable.add(jp.right.column)
+        out.append((
+            table,
+            frozenset(seekable),
+            frozenset(needed_by_table.get(table, ())),
+        ))
+    return tuple(out)
+
+
+@lru_cache(maxsize=None)
+def _view_matches(view: MaterializedView, query: Query) -> bool:
+    return view.matches_select(query)
+
+
+@lru_cache(maxsize=None)
+def _template_key(query: Query) -> Tuple:
+    return query.template_key()
 
 
 class Configuration:
@@ -34,7 +86,8 @@ class Configuration:
         Optional label used in reports ("C1", "base", ...).
     """
 
-    __slots__ = ("_indexes", "_views", "name", "_by_table", "_hash")
+    __slots__ = ("_indexes", "_views", "name", "_by_table", "_hash",
+                 "_fp_memo", "_fp_tmpl")
 
     def __init__(
         self,
@@ -50,6 +103,8 @@ class Configuration:
             by_table.setdefault(ix.table, []).append(ix)
         self._by_table = by_table
         self._hash = hash((self._indexes, self._views))
+        self._fp_memo: Dict[Query, Fingerprint] = {}
+        self._fp_tmpl: Dict[Tuple, Fingerprint] = {}
 
     def _default_name(self) -> str:
         return f"cfg_{len(self._indexes)}ix_{len(self._views)}mv"
@@ -132,6 +187,82 @@ class Configuration:
         return len(mine & theirs) / len(union)
 
     # ------------------------------------------------------------------
+    # query-relevant fingerprinting (cache-key projection)
+    # ------------------------------------------------------------------
+    def fingerprint(self, query: Query) -> Fingerprint:
+        """Project the configuration onto the structures ``query`` can see.
+
+        The what-if cost of a query depends only on the indexes plan
+        search can actually use — those that can seek (leading key
+        column filtered or joined) or cover the query's columns on
+        their table, plus, for DML, those the statement must maintain —
+        and on the views that can match (SELECT) or require maintenance
+        (DML).  Two configurations with
+        equal fingerprints therefore cost the query identically, which
+        is what lets :class:`~repro.optimizer.whatif.WhatIfOptimizer`
+        share cached costs across configurations differing only in
+        irrelevant structures.
+
+        Results are memoized per query (configurations are immutable).
+        Because relevance is pure template structure — constants never
+        decide whether an index can seek/cover or a view can match —
+        queries sharing a template share one computed fingerprint.
+        """
+        fp = self._fp_memo.get(query)
+        if fp is None:
+            tmpl = _template_key(query)
+            fp = self._fp_tmpl.get(tmpl)
+            if fp is None:
+                fp = self._compute_fingerprint(query)
+                self._fp_tmpl[tmpl] = fp
+            self._fp_memo[query] = fp
+        return fp
+
+    def _compute_fingerprint(self, query: Query) -> Fingerprint:
+        if query.qtype == QueryType.SELECT:
+            views = frozenset(
+                v for v in self._views if _view_matches(v, query)
+            )
+            relevant: List[Index] = []
+            for table, seekable, needed in _select_relevance(query):
+                for ix in self._by_table.get(table, ()):
+                    # Keep exactly the indexes plan search can use: a
+                    # seek/join on the leading key, or a covering scan
+                    # (an empty needed set is covered by any index).
+                    if (
+                        ix.key_columns[0] in seekable
+                        or needed <= ix.column_set
+                    ):
+                        relevant.append(ix)
+            return (frozenset(relevant), views)
+
+        # DML: every view joining the target table must be refreshed.
+        target = query.tables[0]
+        views = frozenset(
+            v for v in self._views if target in v.table_set
+        )
+        table_indexes = self._by_table.get(target, ())
+        if query.qtype in (QueryType.DELETE, QueryType.INSERT):
+            # DELETE/INSERT maintain every index on the table.
+            return (frozenset(table_indexes), views)
+        # UPDATE: indexes needing maintenance (containing a SET column)
+        # plus those usable by the row-locating SELECT part, whose
+        # needed columns are the statement's referenced columns.
+        modified = {ref.column for ref in query.set_columns}
+        filter_cols = {f.column.column for f in query.filters}
+        needed = frozenset(
+            ref.column for ref in query.referenced_columns()
+            if ref.table == target
+        )
+        relevant = [
+            ix for ix in table_indexes
+            if modified & ix.column_set
+            or ix.key_columns[0] in filter_cols
+            or needed <= ix.column_set
+        ]
+        return (frozenset(relevant), views)
+
+    # ------------------------------------------------------------------
     # storage
     # ------------------------------------------------------------------
     def storage_bytes(self, schema: Schema, page_bytes: int = 8192) -> int:
@@ -161,6 +292,14 @@ class Configuration:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __getstate__(self) -> Tuple:
+        # The fingerprint memo is a per-process cache; rebuild lazily.
+        return (self._indexes, self._views, self.name)
+
+    def __setstate__(self, state: Tuple) -> None:
+        indexes, views, name = state
+        self.__init__(indexes, views, name=name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

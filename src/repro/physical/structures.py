@@ -68,9 +68,38 @@ class Index:
         """Keys followed by includes."""
         return self.key_columns + self.include_columns
 
+    @property
+    def column_set(self) -> FrozenSet[str]:
+        """Keys + includes as a frozenset (computed once per index)."""
+        cached = self.__dict__.get("_column_set")
+        if cached is None:
+            cached = frozenset(self.key_columns + self.include_columns)
+            object.__setattr__(self, "_column_set", cached)
+        return cached
+
     def covers(self, needed_columns: FrozenSet[str]) -> bool:
         """Whether the index leaf level contains all ``needed_columns``."""
-        return needed_columns <= set(self.all_columns)
+        return needed_columns <= self.column_set
+
+    def __hash__(self) -> int:
+        # Indexes appear in cache keys constantly; cache the hash.
+        cached = self.__dict__.get("_ixhash")
+        if cached is None:
+            cached = hash(
+                (self.table, self.key_columns, self.include_columns)
+            )
+            object.__setattr__(self, "_ixhash", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        # str hashes are salted per process: never pickle cached hashes.
+        state = dict(self.__dict__)
+        state.pop("_ixhash", None)
+        state.pop("_column_set", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def width_bytes(self, schema: Schema) -> int:
         """Leaf-entry width in bytes (keys + includes + row pointer)."""
@@ -142,17 +171,69 @@ class MaterializedView:
 
     def join_edge_keys(self) -> FrozenSet[Tuple]:
         """Canonical keys of the view's join edges, for subset matching."""
-        return frozenset(jp.template_part() for jp in self.join_predicates)
+        cached = self.__dict__.get("_edge_keys")
+        if cached is None:
+            cached = frozenset(
+                jp.template_part() for jp in self.join_predicates
+            )
+            object.__setattr__(self, "_edge_keys", cached)
+        return cached
+
+    def matches_select(self, query) -> bool:
+        """Whether this view can stand in for part of a SELECT ``query``.
+
+        The single source of truth for view applicability: the view's
+        tables and join edges must form a sub-join of the query, an
+        aggregated view must answer the query's exact grouping, and
+        every residual filter column on covered tables must survive in
+        the view.  Used both by plan search
+        (:func:`repro.optimizer.views.matching_views`) and by
+        configuration fingerprinting — a view that cannot match cannot
+        influence the query's cost.
+        """
+        query_tables = frozenset(query.tables)
+        if not self.table_set <= query_tables:
+            return False
+        query_edges = frozenset(
+            jp.template_part() for jp in query.join_predicates
+        )
+        if not self.join_edge_keys() <= query_edges:
+            return False
+        if self.group_by:
+            if self.table_set != query_tables:
+                return False
+            if tuple(self.group_by) != tuple(query.group_by):
+                return False
+            kept = {(ref.table, ref.column) for ref in self.group_by}
+            for pred in query.filters:
+                key = (pred.column.table, pred.column.column)
+                if pred.column.table in self.table_set and key not in kept:
+                    return False
+        return True
 
     def __hash__(self) -> int:
-        return hash(
-            (
-                self.tables,
-                self.join_edge_keys(),
-                self.group_by,
-                tuple(a.template_part() for a in self.aggregates),
+        cached = self.__dict__.get("_vhash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.tables,
+                    self.join_edge_keys(),
+                    self.group_by,
+                    tuple(a.template_part() for a in self.aggregates),
+                )
             )
-        )
+            object.__setattr__(self, "_vhash", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        # str hashes are salted per process: never pickle cached hashes.
+        state = dict(self.__dict__)
+        state.pop("_vhash", None)
+        state.pop("_edge_keys", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 #: Either kind of physical structure (for typing convenience).

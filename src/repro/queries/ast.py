@@ -218,6 +218,36 @@ class Query:
     order_by: Tuple[ColumnRef, ...] = ()
     set_columns: Tuple[ColumnRef, ...] = ()
 
+    def __hash__(self) -> int:
+        # Queries key every optimizer cache, so the (deep, tuple-of-
+        # dataclasses) hash is computed once and remembered.  Safe for a
+        # frozen instance: all hashed fields are immutable.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((
+                self.qtype,
+                self.tables,
+                self.join_predicates,
+                self.filters,
+                self.select_columns,
+                self.aggregates,
+                self.group_by,
+                self.order_by,
+                self.set_columns,
+            ))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        # str hashes are salted per process: never ship a cached hash
+        # across a pickle boundary.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def __post_init__(self) -> None:
         if self.qtype not in QueryType.ALL:
             raise ValueError(f"unknown query type {self.qtype!r}")

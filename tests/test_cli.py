@@ -95,3 +95,39 @@ class TestCommands:
             "explain", "--db", "tpcd", "--size", "10", "--query", "99",
         ])
         assert code == 2
+
+    def test_mc_text_report(self, capsys):
+        code = main([
+            "mc", "--db", "tpcd", "--size", "150", "--k", "4",
+            "--trials", "10", "--budgets", "30,60", "--workers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pr(CS)" in out
+        assert "fingerprint hit rate" in out
+
+    def test_mc_json_report(self, capsys):
+        import json
+
+        code = main([
+            "mc", "--db", "tpcd", "--size", "150", "--k", "4",
+            "--trials", "10", "--budgets", "30,60", "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["prcs"]) == 2
+        assert report["build_stats"]["cells"] == 150 * 4
+        assert "phases" in report and "cache_report" in report
+
+    def test_mc_workers_bit_identical(self, capsys):
+        argv = [
+            "mc", "--db", "tpcd", "--size", "150", "--k", "4",
+            "--trials", "8", "--budgets", "40", "--json",
+        ]
+        import json
+
+        assert main(argv + ["--workers", "1"]) == 0
+        serial = json.loads(capsys.readouterr().out)["prcs"]
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)["prcs"]
+        assert serial == parallel

@@ -1,0 +1,341 @@
+"""Fingerprint-keyed cost caching: projection rules and equivalence.
+
+Two families of checks:
+
+* unit tests of the fingerprint projection
+  (:meth:`repro.physical.configuration.Configuration.fingerprint`) and
+  of view applicability
+  (:meth:`repro.physical.structures.MaterializedView.matches_select`);
+* property-style equivalence: for randomized workloads (TPC-D and CRM,
+  SELECT + DML + views) the fingerprinting optimizer must produce
+  bit-identical costs and the identical ``calls`` count to a fresh
+  ``fingerprinting=False`` optimizer — the caching layers are pure
+  wall-clock optimizations, invisible in every reported number.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.optimizer import WhatIfOptimizer
+from repro.optimizer.batch import cost_matrix, cost_matrix_with_stats
+from repro.physical import (
+    Configuration,
+    Index,
+    MaterializedView,
+    build_pool,
+    enumerate_configurations,
+)
+from repro.queries import (
+    ColumnRef,
+    EqPredicate,
+    JoinPredicate,
+    Query,
+    QueryType,
+)
+from repro.workload.crm import crm_generator, crm_schema
+from repro.workload.tpcd import tpcd_generator, tpcd_schema
+
+
+class TestFingerprintProjection:
+    def test_irrelevant_index_dropped(self, join_query):
+        # c_name is neither filtered nor joined nor referenced.
+        noise = Index("customer", ("c_name",))
+        useful = Index("customer", ("c_region", "c_id"))
+        with_noise = Configuration([useful, noise])
+        without = Configuration([useful])
+        assert with_noise.fingerprint(join_query) \
+            == without.fingerprint(join_query)
+
+    def test_seek_index_kept(self, join_query):
+        ix = Index("customer", ("c_region",))
+        fp_indexes, _views = Configuration([ix]).fingerprint(join_query)
+        assert ix in fp_indexes
+
+    def test_join_column_index_kept(self, join_query):
+        # o_cust is a join column: the index can carry an INL join even
+        # though no filter touches it.
+        ix = Index("orders", ("o_cust",))
+        fp_indexes, _views = Configuration([ix]).fingerprint(join_query)
+        assert ix in fp_indexes
+
+    def test_covering_index_kept(self, join_query):
+        # Leading key o_date is neither filtered nor joined, but the
+        # index covers every referenced orders column.
+        ix = Index("orders", ("o_date",), ("o_cust", "o_total"))
+        fp_indexes, _views = Configuration([ix]).fingerprint(join_query)
+        assert ix in fp_indexes
+
+    def test_unseekable_noncovering_dropped(self, join_query):
+        ix = Index("orders", ("o_date",))
+        fp_indexes, _views = Configuration([ix]).fingerprint(join_query)
+        assert ix not in fp_indexes
+
+    def test_other_table_index_dropped(self, point_query):
+        ix = Index("customer", ("c_region",))
+        fp_indexes, _views = Configuration([ix]).fingerprint(point_query)
+        assert not fp_indexes
+
+    def test_matching_view_kept_nonmatching_dropped(self, join_query):
+        matching = MaterializedView(
+            tables=("orders", "customer"),
+            join_predicates=join_query.join_predicates,
+        )
+        other = MaterializedView(
+            tables=("orders", "customer"),
+            join_predicates=(
+                JoinPredicate(
+                    ColumnRef("orders", "o_id"),
+                    ColumnRef("customer", "c_id"),
+                ),
+            ),
+        )
+        _ixs, fp_views = Configuration(
+            views=[matching, other]
+        ).fingerprint(join_query)
+        assert fp_views == frozenset([matching])
+
+    def test_update_keeps_maintenance_index(self, update_query):
+        # o_date is untouched by the UPDATE; o_total is SET.
+        touched = Index("orders", ("o_date",), ("o_total",))
+        untouched = Index("orders", ("o_date",))
+        fp_indexes, _views = Configuration(
+            [touched, untouched]
+        ).fingerprint(update_query)
+        assert touched in fp_indexes
+        assert untouched not in fp_indexes
+
+    def test_update_keeps_locate_index(self, update_query):
+        # o_cust is the WHERE column of the locating SELECT part.
+        ix = Index("orders", ("o_cust",))
+        fp_indexes, _views = Configuration([ix]).fingerprint(update_query)
+        assert ix in fp_indexes
+
+    def test_delete_keeps_all_target_indexes(self):
+        q = Query(
+            qtype=QueryType.DELETE,
+            tables=("orders",),
+            filters=(EqPredicate(ColumnRef("orders", "o_id"), 1),),
+        )
+        ixs = [Index("orders", ("o_date",)), Index("orders", ("o_id",))]
+        fp_indexes, _views = Configuration(ixs).fingerprint(q)
+        assert fp_indexes == frozenset(ixs)
+
+
+class TestMatchesSelect:
+    def test_join_subset_matches(self, join_query):
+        view = MaterializedView(
+            tables=("orders", "customer"),
+            join_predicates=join_query.join_predicates,
+        )
+        assert view.matches_select(join_query)
+
+    def test_wrong_edge_rejected(self, join_query):
+        view = MaterializedView(
+            tables=("orders", "customer"),
+            join_predicates=(
+                JoinPredicate(
+                    ColumnRef("orders", "o_id"),
+                    ColumnRef("customer", "c_id"),
+                ),
+            ),
+        )
+        assert not view.matches_select(join_query)
+
+    def test_aggregated_view_needs_exact_grouping(self, scan_query):
+        q = Query(
+            qtype=QueryType.SELECT,
+            tables=("orders",),
+            group_by=scan_query.group_by,
+            aggregates=scan_query.aggregates,
+        )
+        view = MaterializedView(
+            tables=("orders",),
+            join_predicates=(),
+            group_by=q.group_by,
+            aggregates=q.aggregates,
+        )
+        assert view.matches_select(q)
+        other_group = MaterializedView(
+            tables=("orders",),
+            join_predicates=(),
+            group_by=(ColumnRef("orders", "o_cust"),),
+            aggregates=q.aggregates,
+        )
+        assert not other_group.matches_select(q)
+
+    def test_residual_filter_must_survive_aggregation(self, scan_query):
+        # The o_date range filter's column is not a GROUP BY column of
+        # the view, so the view cannot answer the query.
+        assert scan_query.filters
+        view = MaterializedView(
+            tables=("orders",),
+            join_predicates=(),
+            group_by=(ColumnRef("orders", "o_status"),),
+            aggregates=scan_query.aggregates,
+        )
+        q_nofilter = Query(
+            qtype=QueryType.SELECT,
+            tables=("orders",),
+            group_by=scan_query.group_by,
+            aggregates=scan_query.aggregates,
+        )
+        assert view.matches_select(q_nofilter)
+        assert not view.matches_select(scan_query)
+
+
+class TestCounterSemantics:
+    def test_fingerprint_hit_still_counts_as_call(
+        self, small_schema, join_query
+    ):
+        useful = Index("customer", ("c_region", "c_id"))
+        noise = Index("customer", ("c_name",))
+        c1 = Configuration([useful], name="c1")
+        c2 = Configuration([useful, noise], name="c2")
+        opt = WhatIfOptimizer(small_schema)
+        a = opt.cost(join_query, c1)
+        assert (opt.calls, opt.fingerprint_hits) == (1, 0)
+        b = opt.cost(join_query, c2)
+        # Distinct pair: the paper's metric must rise even though the
+        # fingerprint layer skipped plan search.
+        assert (opt.calls, opt.fingerprint_hits) == (2, 1)
+        assert a == b
+        # Exact repeat: cache hit, no new call.
+        opt.cost(join_query, c2)
+        assert (opt.calls, opt.cache_hits) == (2, 1)
+
+    def test_fingerprinting_off_has_no_fingerprint_hits(
+        self, small_schema, join_query, indexed_config, empty_config
+    ):
+        opt = WhatIfOptimizer(small_schema, fingerprinting=False)
+        opt.cost(join_query, indexed_config)
+        opt.cost(join_query, empty_config)
+        assert opt.calls == 2
+        assert opt.fingerprint_hits == 0
+
+    def test_clear_cache_resets_sharing(self, small_schema, join_query,
+                                        indexed_config):
+        opt = WhatIfOptimizer(small_schema)
+        first = opt.cost(join_query, indexed_config)
+        opt.clear_cache()
+        again = opt.cost(join_query, indexed_config)
+        assert first == again
+        assert opt.calls == 2  # both were real (uncached) evaluations
+
+
+def _random_configs(pool, k, rng):
+    return enumerate_configurations(
+        pool, k, rng, min_indexes=1, max_indexes=6
+    )
+
+
+class TestEquivalence:
+    """Fingerprinted costs == fresh un-fingerprinted costs, bit for bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tpcd_matrix_identical(self, seed):
+        schema = tpcd_schema(scale_factor=0.05)
+        wl = tpcd_generator(schema=schema, include_dml=True).generate(
+            120, np.random.default_rng(seed)
+        )
+        pool = build_pool(
+            wl.queries[:60], WhatIfOptimizer(schema), include_views=True
+        )
+        configs = _random_configs(
+            pool, 6, np.random.default_rng(seed + 100)
+        )
+        legacy_opt = WhatIfOptimizer(schema, fingerprinting=False)
+        legacy = wl.cost_matrix(legacy_opt, configs)
+        fast_opt = WhatIfOptimizer(schema)
+        fast, stats = cost_matrix_with_stats(wl, configs, fast_opt)
+        assert np.array_equal(legacy, fast)
+        assert legacy_opt.calls == fast_opt.calls
+        assert stats.optimizer_calls == fast_opt.calls
+        assert stats.fingerprint_hits == fast_opt.fingerprint_hits
+
+    def test_crm_matrix_identical(self):
+        schema = crm_schema(seed=3)
+        wl = crm_generator(schema=schema).generate(
+            100, np.random.default_rng(7)
+        )
+        pool = build_pool(
+            wl.queries[:50], WhatIfOptimizer(schema), include_views=True
+        )
+        configs = _random_configs(pool, 5, np.random.default_rng(8))
+        legacy = wl.cost_matrix(
+            WhatIfOptimizer(schema, fingerprinting=False), configs
+        )
+        fast = cost_matrix(wl, configs, WhatIfOptimizer(schema))
+        assert np.array_equal(legacy, fast)
+
+    def test_plans_identical_not_just_costs(self, small_schema,
+                                            join_query, indexed_config):
+        fp_opt = WhatIfOptimizer(small_schema)
+        plain = WhatIfOptimizer(small_schema, fingerprinting=False)
+        a = fp_opt.plan(join_query, indexed_config)
+        b = plain.plan(join_query, indexed_config)
+        assert a == b
+
+
+class TestBatchBuilder:
+    def test_progress_callback_fires(self, small_schema, join_query,
+                                     point_query, indexed_config):
+        calls = []
+        cost_matrix(
+            [join_query, point_query], [indexed_config],
+            WhatIfOptimizer(small_schema),
+            progress=lambda done, total: calls.append((done, total)),
+            progress_every=1,
+        )
+        assert calls[-1] == (2, 2)
+        assert (1, 2) in calls
+
+    def test_stats_shape_and_throughput(self, small_schema, join_query,
+                                        indexed_config, empty_config):
+        matrix, stats = cost_matrix_with_stats(
+            [join_query], [indexed_config, empty_config],
+            WhatIfOptimizer(small_schema),
+        )
+        assert matrix.shape == (1, 2)
+        assert stats.cells == 2
+        assert stats.optimizer_calls == 2
+        assert stats.cells_per_second > 0
+        d = stats.as_dict()
+        assert d["n_queries"] == 1 and d["n_configs"] == 2
+
+
+class TestPickleHygiene:
+    """Cached hashes must never cross process boundaries (str hashes
+    are salted per interpreter)."""
+
+    def test_query_state_drops_cached_hash(self, join_query):
+        hash(join_query)
+        assert "_hash" in join_query.__dict__
+        assert "_hash" not in pickle.loads(
+            pickle.dumps(join_query)
+        ).__dict__
+
+    def test_index_state_drops_cached_hash(self):
+        ix = Index("orders", ("o_cust",))
+        hash(ix)
+        ix.column_set
+        state = pickle.loads(pickle.dumps(ix)).__dict__
+        assert "_ixhash" not in state and "_column_set" not in state
+
+    def test_view_state_drops_cached_hash(self, join_query):
+        view = MaterializedView(
+            tables=("orders", "customer"),
+            join_predicates=join_query.join_predicates,
+        )
+        hash(view)
+        assert "_vhash" not in pickle.loads(pickle.dumps(view)).__dict__
+
+    def test_configuration_roundtrip_rebuilds_memos(self, join_query):
+        cfg = Configuration([Index("customer", ("c_region",))], name="c")
+        cfg.fingerprint(join_query)
+        clone = pickle.loads(pickle.dumps(cfg))
+        assert clone == cfg and clone.name == "c"
+        assert clone.fingerprint(join_query) == cfg.fingerprint(join_query)

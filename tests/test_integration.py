@@ -110,10 +110,15 @@ class TestExperimentSetups:
         t0 = time.perf_counter()
         a = tpcd_setup(n_queries=200, k=2, seed=4, candidate_queries=50)
         first = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        b = tpcd_setup(n_queries=200, k=2, seed=4, candidate_queries=50)
-        second = time.perf_counter() - t0
-        assert np.array_equal(a.matrix, b.matrix)
+        # Best of three cached reads: the fingerprinted build is fast
+        # enough that a single scheduler hiccup could flip the compare.
+        second = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            b = tpcd_setup(n_queries=200, k=2, seed=4,
+                           candidate_queries=50)
+            second = min(second, time.perf_counter() - t0)
+            assert np.array_equal(a.matrix, b.matrix)
         assert second < first
 
     def test_find_pair_orders_worse_first(self):

@@ -1,0 +1,168 @@
+"""Parallel Monte Carlo harness: bit-identity, seeding, worker plumbing.
+
+The process-parallel runners in :mod:`repro.experiments.parallel` must
+be drop-in replacements for the serial loops: same seed -> same numbers
+to the last bit, for any worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selector import SelectorOptions
+from repro.experiments.monte_carlo import (
+    SchemeSpec,
+    multi_config_table as serial_table,
+    prcs_curve as serial_curve,
+)
+from repro.experiments.parallel import (
+    _chunked,
+    multi_config_table,
+    prcs_curve,
+    resolve_workers,
+    spawn_trial_rngs,
+)
+from repro.experiments.profiling import PhaseTimer, cache_hit_report
+from repro.optimizer import WhatIfOptimizer
+
+
+@pytest.fixture(scope="module")
+def mc_problem():
+    """A small ground-truth matrix with a clear-but-not-trivial winner."""
+    rng = np.random.default_rng(42)
+    n, k = 240, 4
+    base = rng.lognormal(mean=3.0, sigma=1.0, size=(n, 1))
+    offsets = np.array([1.0, 0.92, 1.05, 0.97])
+    noise = rng.lognormal(mean=0.0, sigma=0.25, size=(n, k))
+    matrix = base * offsets * noise
+    template_ids = rng.integers(0, 12, size=n)
+    return matrix, template_ids
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_workers(0) >= 1
+
+
+class TestSpawnTrialRngs:
+    def test_deterministic_and_independent(self):
+        a = spawn_trial_rngs(9, 4)
+        b = spawn_trial_rngs(9, 4)
+        draws_a = [r.random(3).tolist() for r in a]
+        draws_b = [r.random(3).tolist() for r in b]
+        assert draws_a == draws_b
+        # Distinct streams.
+        assert draws_a[0] != draws_a[1]
+
+
+class TestChunking:
+    def test_partition_preserves_order(self):
+        items = list(range(17))
+        chunks = _chunked(items, 4)
+        assert [x for c in chunks for x in c] == items
+        assert len(chunks) <= 5
+
+    def test_more_chunks_than_items(self):
+        chunks = _chunked([1, 2], 8)
+        assert [x for c in chunks for x in c] == [1, 2]
+
+
+class TestBitIdentity:
+    """workers=4 must replay the serial stream exactly."""
+
+    def test_prcs_curve_matches_serial(self, mc_problem):
+        matrix, tids = mc_problem
+        spec = SchemeSpec(scheme="delta", stratify="none")
+        budgets = [20, 40, 80]
+        serial = serial_curve(
+            matrix, tids, spec, budgets, trials=24, seed=5
+        )
+        parallel_1 = prcs_curve(
+            matrix, tids, spec, budgets, trials=24, seed=5, workers=1
+        )
+        parallel_4 = prcs_curve(
+            matrix, tids, spec, budgets, trials=24, seed=5, workers=4
+        )
+        assert np.array_equal(serial, parallel_1)
+        assert np.array_equal(serial, parallel_4)
+
+    def test_prcs_curve_stratified_matches_serial(self, mc_problem):
+        matrix, tids = mc_problem
+        spec = SchemeSpec(scheme="delta", stratify="progressive")
+        budgets = [40, 80]
+        serial = serial_curve(
+            matrix, tids, spec, budgets, trials=12, seed=3
+        )
+        parallel_4 = prcs_curve(
+            matrix, tids, spec, budgets, trials=12, seed=3, workers=4
+        )
+        assert np.array_equal(serial, parallel_4)
+
+    def test_multi_config_table_matches_serial(self, mc_problem):
+        matrix, tids = mc_problem
+        kwargs = dict(alpha=0.85, trials=16, seed=11, n_min=10,
+                      consecutive=4)
+        serial = serial_table(matrix, tids, **kwargs)
+        parallel_4 = multi_config_table(matrix, tids, workers=4, **kwargs)
+        assert serial == parallel_4
+
+    def test_workers_env_used_when_unset(self, mc_problem, monkeypatch):
+        matrix, tids = mc_problem
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        spec = SchemeSpec(scheme="independent", stratify="none")
+        serial = serial_curve(matrix, tids, spec, [30], trials=8, seed=1)
+        via_env = prcs_curve(matrix, tids, spec, [30], trials=8, seed=1)
+        assert np.array_equal(serial, via_env)
+
+
+class TestSelectorOptionValidation:
+    def test_reeval_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="reeval_every"):
+            SelectorOptions(reeval_every=0)
+
+    def test_split_check_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="split_check_every"):
+            SelectorOptions(split_check_every=-1)
+
+    def test_valid_options_pass(self):
+        SelectorOptions(reeval_every=1, split_check_every=1)
+
+
+class TestProfilingLayer:
+    def test_phase_timer_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        d = timer.as_dict()
+        assert set(d) == {"a", "b"}
+        assert timer.seconds("a") >= 0.0
+        assert timer.total == pytest.approx(sum(d.values()))
+
+    def test_cache_hit_report_rates(self, small_schema, join_query,
+                                    indexed_config, empty_config):
+        opt = WhatIfOptimizer(small_schema)
+        opt.cost(join_query, indexed_config)
+        opt.cost(join_query, indexed_config)
+        opt.cost(join_query, empty_config)
+        report = cache_hit_report(opt)
+        assert report["calls"] == 2
+        assert report["cache_hits"] == 1
+        assert 0.0 <= report["pair_hit_rate"] <= 1.0
+        assert 0.0 <= report["fingerprint_hit_rate"] <= 1.0
