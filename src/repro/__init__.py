@@ -50,6 +50,7 @@ from .core import (
     OptimizerCostSource,
     SelectionResult,
     SelectorOptions,
+    SelectorState,
     Stratification,
 )
 from .experiments import (
@@ -106,6 +107,7 @@ __all__ = [
     "OptimizerCostSource",
     "SelectionResult",
     "SelectorOptions",
+    "SelectorState",
     "Stratification",
     "ExperimentSetup",
     "SchemeSpec",

@@ -264,6 +264,119 @@ def _cmd_mc(args) -> int:
     return 0
 
 
+def _load_trace(args):
+    """Build (schema, trace workload, optimizer) for ``repro serve``.
+
+    ``--trace`` replays a recorded SQLite workload table; otherwise a
+    drifting trace with a planted change point is generated: mix A
+    concentrates on the first half of the database's templates, mix B
+    on the second half, switching at ``--change-point`` of the trace.
+    """
+    from .optimizer import WhatIfOptimizer
+    from .workload import (
+        WorkloadStore,
+        change_point_workload,
+        crm_generator,
+        crm_schema,
+        tpcd_generator,
+        tpcd_schema,
+    )
+    from .workload.workload import Workload
+
+    if args.db == "tpcd":
+        schema = tpcd_schema(scale_factor=args.scale)
+        generator = tpcd_generator(schema=schema)
+    else:
+        schema = crm_schema()
+        generator = crm_generator(schema=schema)
+    optimizer = WhatIfOptimizer(schema)
+
+    if args.trace:
+        with WorkloadStore(args.trace) as store:
+            rows = store.read_all()
+        trace = Workload([q for _i, _t, q in rows])
+        return schema, trace, optimizer
+
+    n_templates = len(generator.templates)
+    half = max(1, n_templates // 2)
+    mix_a = [1.0] * half + [0.05] * (n_templates - half)
+    mix_b = [0.05] * half + [1.0] * (n_templates - half)
+    change_at = max(1, min(args.size - 1,
+                           int(args.size * args.change_point)))
+    trace = change_point_workload(
+        generator, args.size, mix_a, mix_b, change_at,
+        np.random.default_rng(args.seed),
+    )
+    return schema, trace, optimizer
+
+
+def _cmd_serve(args) -> int:
+    from .core import SelectorOptions
+    from .physical import build_pool, enumerate_configurations
+    from .service import EventLog, ServiceConfig, run_service
+
+    _schema, trace, optimizer = _load_trace(args)
+    pool = build_pool(trace.queries[: min(300, trace.size)], optimizer)
+    configs = enumerate_configurations(
+        pool, args.k, np.random.default_rng(args.seed)
+    )
+    config = ServiceConfig(
+        window_size=args.window,
+        batch_size=args.batch,
+        reservoir_size=args.reservoir,
+        drift_threshold=args.threshold,
+        cooldown=args.cooldown,
+        retune_budget=args.budget,
+        warm=not args.cold,
+        replay_speed=args.replay_speed,
+    )
+    options = SelectorOptions(
+        alpha=args.alpha, delta=args.delta, scheme=args.scheme,
+        n_min=args.n_min,
+    )
+    with EventLog(args.events) as events:
+        report = run_service(
+            trace, configs, optimizer, config=config, options=options,
+            events=events, rng=np.random.default_rng(args.seed + 1),
+        )
+
+    if args.json:
+        import json
+
+        payload = report.as_dict()
+        payload["final_config"] = (
+            configs[report.final_index].name
+            if report.final_index is not None else None
+        )
+        payload["events"] = len(events)
+        payload["events_path"] = args.events
+        print(json.dumps(payload, indent=2, default=float))
+        return 0
+    print(f"trace             : {trace.size} statements "
+          f"({trace.template_count} templates)")
+    print(f"mode              : "
+          f"{'warm' if config.warm else 'cold'} retunes, "
+          f"window {config.window_size}, batch {config.batch_size}")
+    for i, outcome in enumerate(report.retunes):
+        label = "initial " if i == 0 else "retune  "
+        extra = "" if outcome.accepted else "  [kept: low confidence]"
+        print(f"{label}          : -> "
+              f"{configs[outcome.chosen_index].name} "
+              f"(calls {outcome.optimizer_calls}, "
+              f"carried {outcome.carried_samples}, "
+              f"Pr {outcome.selection.prcs:.3f}){extra}")
+    print(f"drift checks      : {report.drift_checks} "
+          f"(max JSD {report.max_drift_score:.3f})")
+    if report.final_index is not None:
+        print(f"final configuration: "
+              f"{configs[report.final_index].name}")
+    print(f"optimizer calls   : {report.total_optimizer_calls}")
+    if args.events:
+        print(f"event log         : {args.events} "
+              f"({len(events)} events)")
+    return 0
+
+
 def _cmd_explain(args) -> int:
     from .optimizer import explain_plan
     from .physical import Configuration
@@ -366,6 +479,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--json", action="store_true",
                       help="emit a JSON report (timings, cache stats)")
     p_mc.set_defaults(func=_cmd_mc)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="online tuning loop: stream a trace, retune on drift",
+    )
+    _add_common(p_srv)
+    p_srv.add_argument("--trace", default=None,
+                       help="SQLite workload table to replay (from "
+                            "'repro generate'); omitted = generate a "
+                            "drifting trace with a planted change point")
+    p_srv.add_argument("--change-point", type=float, default=0.5,
+                       help="planted mix-change position as a fraction "
+                            "of the generated trace")
+    p_srv.add_argument("--k", type=int, default=4,
+                       help="number of candidate configurations")
+    p_srv.add_argument("--alpha", type=float, default=0.9,
+                       help="target probability of correct selection")
+    p_srv.add_argument("--delta", type=float, default=0.0,
+                       help="sensitivity (cost units)")
+    p_srv.add_argument("--scheme", choices=("delta", "independent"),
+                       default="delta")
+    p_srv.add_argument("--n-min", type=int, default=20,
+                       help="pilot/minimum stratum sample size")
+    p_srv.add_argument("--window", type=int, default=300,
+                       help="sliding-window size (statements)")
+    p_srv.add_argument("--batch", type=int, default=50,
+                       help="ingest batch size (statements)")
+    p_srv.add_argument("--reservoir", type=int, default=64,
+                       help="per-template reservoir capacity")
+    p_srv.add_argument("--threshold", type=float, default=0.05,
+                       help="Jensen-Shannon drift trigger threshold")
+    p_srv.add_argument("--cooldown", type=int, default=150,
+                       help="minimum statements between retunes")
+    p_srv.add_argument("--budget", type=int, default=None,
+                       help="optimizer-call budget per retune "
+                            "(default: unbudgeted)")
+    p_srv.add_argument("--cold", action="store_true",
+                       help="disable warm starts (cold-retune baseline)")
+    p_srv.add_argument("--events", default=None,
+                       help="write the JSONL event log to this path")
+    p_srv.add_argument("--replay-speed", type=float, default=0.0,
+                       help="replay rate in statements/second "
+                            "(0 = as fast as possible)")
+    p_srv.add_argument("--json", action="store_true",
+                       help="emit a JSON report")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_exp = sub.add_parser(
         "explain", help="show a statement's plan (current vs ideal)"

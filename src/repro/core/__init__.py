@@ -22,7 +22,7 @@ from .prcs import bonferroni, pair_target_variance, pairwise_prcs, \
 from .progressive import SplitDecision, estimate_stratum_variance, \
     propose_split
 from .selector import ConfigurationSelector, SelectionResult, \
-    SelectorOptions
+    SelectorOptions, SelectorState
 from .sources import CostSource, MatrixCostSource, OptimizerCostSource
 from .tournament import TournamentResult, knockout_tournament
 from .stratification import (
@@ -53,6 +53,7 @@ __all__ = [
     "ConfigurationSelector",
     "SelectionResult",
     "SelectorOptions",
+    "SelectorState",
     "CostSource",
     "MatrixCostSource",
     "OptimizerCostSource",

@@ -58,6 +58,10 @@ class TemplateSampler:
             self._order[tid] = rng.permutation(np.asarray(indices))
             self._cursor[tid] = 0
 
+    def has_template(self, template_id: int) -> bool:
+        """Whether this sampler knows the template at all."""
+        return template_id in self._order
+
     def remaining(self, template_id: int) -> int:
         """Unsampled queries left in one template."""
         return len(self._order[template_id]) - self._cursor[template_id]
@@ -73,6 +77,23 @@ class TemplateSampler:
     def drawn_order(self, template_id: int) -> np.ndarray:
         """The query positions drawn so far, in draw order."""
         return self._order[template_id][: self._cursor[template_id]]
+
+    def mark_drawn(self, template_id: int, n: int) -> int:
+        """Advance the cursor by ``n`` draws without reading positions.
+
+        Used when importing samples carried over from a previous
+        selector run (warm start): the carried costs stand in for the
+        first ``n`` draws of the template, so those positions must be
+        consumed to keep the without-replacement accounting (and the
+        finite-population corrections downstream) honest.  Returns the
+        number of positions actually consumed, clamped to what is
+        left.
+        """
+        if n < 0:
+            raise ValueError(f"cannot mark {n} draws")
+        consumed = min(n, self.remaining(template_id))
+        self._cursor[template_id] += consumed
+        return consumed
 
     def draw_from_template(self, template_id: int) -> Optional[int]:
         """Next unsampled query of a template (``None`` if exhausted)."""
@@ -288,6 +309,65 @@ class IndependentState:
         return _stratified_estimate(self.stratum_stats(config, strat),
                                     strat)
 
+    # ------------------------------------------------------------------
+    # warm-start snapshot/restore
+    # ------------------------------------------------------------------
+    def export_moments(self) -> Dict[int, List[Tuple[int, float, float]]]:
+        """Per-template ``(count, mean, M2)`` per configuration.
+
+        Only templates with at least one sample in any configuration
+        are included.
+        """
+        out: Dict[int, List[Tuple[int, float, float]]] = {}
+        for t in range(self.n_templates):
+            if not self.grid.count[:, t].any():
+                continue
+            out[t] = [
+                (
+                    int(self.grid.count[c, t]),
+                    float(self.grid.mean[c, t]),
+                    float(self.grid.m2[c, t]),
+                )
+                for c in range(self.n_configs)
+            ]
+        return out
+
+    def import_moments(
+        self, moments: Dict[int, List[Tuple[int, float, float]]]
+    ) -> int:
+        """Seed accumulators with moments from a previous run.
+
+        Must be called before any sampling.  Templates unknown to the
+        current workload are skipped; carried counts are clamped to
+        the template's population in the current workload (preserving
+        the sample variance) so the finite-population correction never
+        sees more samples than queries.  Returns the number of carried
+        samples (summed over configurations).
+        """
+        carried = 0
+        for t, per_config in moments.items():
+            if len(per_config) != self.n_configs:
+                raise ValueError(
+                    f"template {t} carries {len(per_config)} "
+                    f"configurations, expected {self.n_configs}"
+                )
+            for c, (count, mean, m2) in enumerate(per_config):
+                if count <= 0:
+                    continue
+                if not self.samplers[c].has_template(t):
+                    continue
+                kept = self.samplers[c].mark_drawn(t, count)
+                if kept == 0:
+                    continue
+                if kept < count and count >= 2:
+                    # Clamp the count but keep s^2 = M2/(n-1) invariant.
+                    m2 = m2 / (count - 1) * max(0, kept - 1)
+                self.grid.count[c, t] = kept
+                self.grid.mean[c, t] = mean
+                self.grid.m2[c, t] = m2 if kept >= 2 else 0.0
+                carried += kept
+        return carried
+
 
 class _AlignedBuffers:
     """Per-template cost buffers aligned to the shared draw order.
@@ -380,6 +460,63 @@ class DeltaState:
         return _stratified_estimate(
             _pool_templates(self.grid, config, strat), strat
         )
+
+    # ------------------------------------------------------------------
+    # warm-start snapshot/restore
+    # ------------------------------------------------------------------
+    def export_samples(self) -> Dict[int, List[List[float]]]:
+        """Aligned per-template cost buffers, per configuration.
+
+        ``{template_id: [costs_of_config_0, costs_of_config_1, ...]}``
+        where each inner list follows the shared draw order (shorter
+        for configurations eliminated mid-run).  Only touched
+        templates are included.
+        """
+        return {
+            t: [
+                list(self.buffers.array(c, t))
+                for c in range(self.n_configs)
+            ]
+            for t in sorted(self._touched)
+        }
+
+    def import_samples(
+        self, samples: Dict[int, List[List[float]]]
+    ) -> int:
+        """Seed buffers/accumulators with a previous run's samples.
+
+        Must be called before any sampling.  For each template the
+        carried costs stand in for the first draws of the (fresh)
+        shared permutation — valid because both the carried sample and
+        the permutation prefix are uniform without-replacement samples
+        of the template.  Carried draws are clamped to the template's
+        population in the current workload.  Templates unknown to the
+        current workload are skipped.  Returns the number of carried
+        samples (summed over configurations).
+        """
+        carried = 0
+        for t, per_config in samples.items():
+            if len(per_config) != self.n_configs:
+                raise ValueError(
+                    f"template {t} carries {len(per_config)} "
+                    f"configurations, expected {self.n_configs}"
+                )
+            if not self.sampler.has_template(t):
+                continue
+            shared = max((len(v) for v in per_config), default=0)
+            shared = self.sampler.mark_drawn(t, shared)
+            if shared == 0:
+                continue
+            touched = False
+            for c, values in enumerate(per_config):
+                for v in values[:shared]:
+                    self.grid.add(c, t, float(v))
+                    self.buffers.append(c, t, float(v))
+                    carried += 1
+                    touched = True
+            if touched:
+                self._touched.add(t)
+        return carried
 
     # ------------------------------------------------------------------
     # pairwise difference statistics

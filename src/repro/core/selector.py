@@ -46,7 +46,157 @@ from .progressive import propose_split
 from .sources import CostSource
 from .stratification import Stratification
 
-__all__ = ["SelectorOptions", "SelectionResult", "ConfigurationSelector"]
+__all__ = [
+    "SelectorOptions",
+    "SelectionResult",
+    "SelectorState",
+    "ConfigurationSelector",
+]
+
+
+@dataclass
+class SelectorState:
+    """Portable snapshot of a selector's estimator state.
+
+    Produced by :meth:`ConfigurationSelector.export_state` after a run
+    and consumed via the ``warm_state`` constructor argument of a
+    later selector over the *same candidate configurations* (possibly
+    a different workload window sharing the template registry).  Two
+    uses:
+
+    * **Warm-started re-selection** — the online tuning service
+      carries still-valid per-template cost samples from the previous
+      run forward, so only templates whose mix changed need fresh
+      optimizer calls (:mod:`repro.service.session`).
+    * **Checkpointing** — :meth:`to_dict` / :meth:`from_dict` are
+      JSON-round-trippable, so long selections can be snapshotted and
+      resumed across processes.
+
+    The payload depends on the scheme: Delta Sampling stores the
+    aligned per-template cost buffers (``values``); Independent
+    Sampling stores per-(configuration, template) Welford moments
+    (``moments``).
+    """
+
+    scheme: str
+    n_configs: int
+    #: Delta: ``{template_id: [per-config aligned cost lists]}``.
+    values: Dict[int, List[List[float]]] = field(default_factory=dict)
+    #: Independent: ``{template_id: [(count, mean, M2) per config]}``.
+    moments: Dict[int, List[Tuple[int, float, float]]] = field(
+        default_factory=dict
+    )
+    #: The run's final stratification (template-id groups).  A warm
+    #: run resumes from these groups: carried per-template counts are
+    #: proportional *within* them (that is the stratification they
+    #: were drawn under), which keeps the count-weighted stratum means
+    #: unbiased.  Pooling carried templates any other way would not be.
+    strata: Optional[List[List[int]]] = None
+
+    def sample_count(self) -> int:
+        """Total carried samples, summed over configurations."""
+        if self.scheme == "delta":
+            return sum(
+                len(v) for cfgs in self.values.values() for v in cfgs
+            )
+        return sum(
+            int(c) for cfgs in self.moments.values() for c, _m, _s in cfgs
+        )
+
+    def template_ids(self) -> Tuple[int, ...]:
+        """Templates with carried state, ascending."""
+        store = self.values if self.scheme == "delta" else self.moments
+        return tuple(sorted(store))
+
+    def template_counts(self, reduce: str = "max") -> Dict[int, int]:
+        """Carried samples per template, aggregated over configurations.
+
+        ``reduce="max"`` suits Delta Sampling (shared draws, so active
+        configurations hold equally many); ``"min"`` is the
+        conservative choice for Independent Sampling, where every
+        configuration samples on its own.
+        """
+        agg = max if reduce == "max" else min
+        if self.scheme == "delta":
+            return {
+                t: agg((len(v) for v in cfgs), default=0)
+                for t, cfgs in self.values.items()
+            }
+        return {
+            t: agg((int(c) for c, _m, _s in cfgs), default=0)
+            for t, cfgs in self.moments.items()
+        }
+
+    def drop_templates(self, template_ids) -> "SelectorState":
+        """A copy without the given templates (to force resampling)."""
+        drop = set(int(t) for t in template_ids)
+        strata = None
+        if self.strata is not None:
+            strata = [
+                kept for kept in (
+                    [t for t in group if t not in drop]
+                    for group in self.strata
+                ) if kept
+            ]
+        return SelectorState(
+            scheme=self.scheme,
+            n_configs=self.n_configs,
+            values={
+                t: [list(v) for v in cfgs]
+                for t, cfgs in self.values.items() if t not in drop
+            },
+            moments={
+                t: [tuple(m) for m in cfgs]
+                for t, cfgs in self.moments.items() if t not in drop
+            },
+            strata=strata,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot."""
+        return {
+            "scheme": self.scheme,
+            "n_configs": self.n_configs,
+            "values": {
+                str(t): [[float(x) for x in v] for v in cfgs]
+                for t, cfgs in self.values.items()
+            },
+            "moments": {
+                str(t): [
+                    [int(c), float(m), float(s)] for c, m, s in cfgs
+                ]
+                for t, cfgs in self.moments.items()
+            },
+            "strata": (
+                None if self.strata is None
+                else [[int(t) for t in group] for group in self.strata]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SelectorState":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            scheme=str(payload["scheme"]),
+            n_configs=int(payload["n_configs"]),
+            values={
+                int(t): [[float(x) for x in v] for v in cfgs]
+                for t, cfgs in payload.get("values", {}).items()
+            },
+            moments={
+                int(t): [
+                    (int(c), float(m), float(s)) for c, m, s in cfgs
+                ]
+                for t, cfgs in payload.get("moments", {}).items()
+            },
+            strata=(
+                None if payload.get("strata") is None
+                else [
+                    [int(t) for t in group]
+                    for group in payload["strata"]
+                ]
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -178,6 +328,12 @@ class ConfigurationSelector:
         Procedure tunables.
     rng:
         Random generator driving all sampling.
+    warm_state:
+        Optional :class:`SelectorState` from a previous run over the
+        same candidate configurations.  Carried samples seed the
+        estimators before any sampling, so templates whose state is
+        carried forward need few (often zero) fresh optimizer calls.
+        The scheme and configuration count must match.
     """
 
     def __init__(
@@ -187,9 +343,26 @@ class ConfigurationSelector:
         options: SelectorOptions = SelectorOptions(),
         rng: Optional[np.random.Generator] = None,
         template_overheads: Optional[np.ndarray] = None,
+        warm_state: Optional[SelectorState] = None,
     ) -> None:
         self.source = source
         self.options = options
+        if warm_state is not None:
+            if warm_state.scheme != options.scheme:
+                raise ValueError(
+                    f"warm state is for scheme {warm_state.scheme!r}, "
+                    f"options use {options.scheme!r}"
+                )
+            if warm_state.n_configs != source.n_configs:
+                raise ValueError(
+                    f"warm state carries {warm_state.n_configs} "
+                    f"configurations, source has {source.n_configs}"
+                )
+        self.warm_state = warm_state
+        self.carried_samples = 0
+        self._delta_state: Optional[DeltaState] = None
+        self._independent_state: Optional[IndependentState] = None
+        self._final_strata: Optional[Tuple[Tuple[int, ...], ...]] = None
         self.template_overheads = (
             np.asarray(template_overheads, dtype=np.float64)
             if template_overheads is not None else None
@@ -218,6 +391,48 @@ class ConfigurationSelector:
         self._template_size_arr = np.zeros(self.n_templates, dtype=np.int64)
         for t, size in self.template_sizes.items():
             self._template_size_arr[t] = size
+        self._warm_strata: Optional[List[Tuple[int, ...]]] = None
+        if self.warm_state is not None:
+            self._normalize_warm_state()
+
+    def _normalize_warm_state(self) -> None:
+        """Trim the warm state to the groups worth resuming from.
+
+        Carried counts are only unbiased to pool within the strata
+        they were drawn under, so each carried group of the previous
+        run's final stratification becomes a stratum of this run.  A
+        group is kept only when it carries at least ``n_min`` samples
+        — it then skips the pilot entirely and starts with a solid
+        variance estimate.  Thinner groups cost more than they save
+        (pilot top-up plus a permanent extra stratum), so their
+        samples are dropped and their templates resample in the
+        pooled fresh stratum.
+        """
+        reduce = "min" if self.options.scheme == "independent" else "max"
+        counts = self.warm_state.template_counts(reduce)
+        carried = set(self.warm_state.template_ids())
+        carried &= set(self.template_sizes)
+        groups = self.warm_state.strata
+        if groups is None:
+            # Old checkpoints without strata: per-template groups are
+            # the only allocation-free resumption.
+            groups = [[t] for t in sorted(carried)]
+        kept_strata: List[Tuple[int, ...]] = []
+        drop = set(self.warm_state.template_ids()) - carried
+        for group in groups:
+            kept = tuple(t for t in group if t in carried)
+            if not kept:
+                continue
+            if sum(counts.get(t, 0) for t in kept) >= self.options.n_min:
+                kept_strata.append(kept)
+            else:
+                drop.update(kept)
+        if not kept_strata:
+            self.warm_state = None
+            return
+        if drop:
+            self.warm_state = self.warm_state.drop_templates(drop)
+        self._warm_strata = kept_strata
 
     # ------------------------------------------------------------------
     # public API
@@ -228,6 +443,32 @@ class ConfigurationSelector:
             return self._run_delta()
         return self._run_independent()
 
+    def export_state(self) -> SelectorState:
+        """Snapshot the estimator state of the completed (or
+        in-progress) run for warm starts and checkpointing.
+
+        Raises ``RuntimeError`` before the first :meth:`run`.
+        """
+        strata = (
+            None if self._final_strata is None
+            else [[int(t) for t in group] for group in self._final_strata]
+        )
+        if self._delta_state is not None:
+            return SelectorState(
+                scheme="delta",
+                n_configs=self.source.n_configs,
+                values=self._delta_state.export_samples(),
+                strata=strata,
+            )
+        if self._independent_state is not None:
+            return SelectorState(
+                scheme="independent",
+                n_configs=self.source.n_configs,
+                moments=self._independent_state.export_moments(),
+                strata=strata,
+            )
+        raise RuntimeError("no run to export state from")
+
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
@@ -237,6 +478,25 @@ class ConfigurationSelector:
                 [(t,) for t in sorted(self.template_sizes)],
                 self.template_sizes,
             )
+        # A warm run resumes from the previous run's final strata
+        # (normalized in _normalize_warm_state): carried counts are
+        # proportional to template sizes within those groups — the
+        # stratification they were drawn under — which is exactly the
+        # condition for count-weighted stratum means to stay unbiased.
+        # Everything else — new templates, invalidated ones, thinly
+        # carried groups — pools into one fresh stratum whose draws
+        # are all fresh and uniform, keeping the pilot as cheap as a
+        # cold run's.
+        if self.warm_state is not None and self._warm_strata:
+            strata = list(self._warm_strata)
+            assigned = {t for group in strata for t in group}
+            fresh = tuple(
+                t for t in sorted(self.template_sizes)
+                if t not in assigned
+            )
+            if fresh:
+                strata.append(fresh)
+            return Stratification(strata, self.template_sizes)
         return Stratification.single(self.template_sizes)
 
     def _stratum_overheads(self, strat: Stratification) -> Optional[
@@ -277,6 +537,11 @@ class ConfigurationSelector:
         state = DeltaState(
             k, self.n_templates, self.indices_by_template, self.rng
         )
+        self._delta_state = state
+        if self.warm_state is not None:
+            self.carried_samples = state.import_samples(
+                self.warm_state.values
+            )
         strat = self._initial_stratification()
         active = list(range(k))
         eliminated: List[int] = []
@@ -385,6 +650,7 @@ class ConfigurationSelector:
             [state.estimate_total(c, strat)[0] for c in range(k)]
         )
         best = int(np.argmin(totals))
+        self._final_strata = strat.strata
         return SelectionResult(
             best_index=best,
             prcs=prcs,
@@ -404,13 +670,17 @@ class ConfigurationSelector:
         strat: Stratification,
         active: Sequence[int],
     ) -> None:
-        """Fill every stratum to ``n_min`` shared samples (or exhaust)."""
+        """Fill every stratum to ``n_min`` shared samples (or exhaust).
+
+        Carried warm-start samples count toward the target, so a
+        well-carried stratum costs the pilot nothing.
+        """
         for stratum in strat.strata:
+            drawn = sum(state.sampler.drawn(t) for t in stratum)
             target = min(
                 self.options.n_min,
                 sum(self.template_sizes[t] for t in stratum),
             )
-            drawn = sum(state.sampler.drawn(t) for t in stratum)
             while drawn < target:
                 if not self._budget_left(
                     self.source.calls - self._start_calls
@@ -546,6 +816,11 @@ class ConfigurationSelector:
         state = IndependentState(
             k, self.n_templates, self.indices_by_template, self.rng
         )
+        self._independent_state = state
+        if self.warm_state is not None:
+            self.carried_samples = state.import_moments(
+                self.warm_state.moments
+            )
         strats: List[Stratification] = [
             self._initial_stratification() for _ in range(k)
         ]
@@ -643,6 +918,7 @@ class ConfigurationSelector:
         ests = [state.estimate(c, strats[c]) for c in range(k)]
         totals = np.array([e[0] for e in ests])
         best = int(np.argmin(totals))
+        self._final_strata = strats[best].strata
         return SelectionResult(
             best_index=best,
             prcs=prcs,
@@ -664,12 +940,12 @@ class ConfigurationSelector:
         self, state: IndependentState, strat: Stratification, config: int
     ) -> None:
         for stratum in strat.strata:
+            drawn = sum(
+                int(state.grid.count[config, t]) for t in stratum
+            )
             target = min(
                 self.options.n_min,
                 sum(self.template_sizes[t] for t in stratum),
-            )
-            drawn = sum(
-                int(state.grid.count[config, t]) for t in stratum
             )
             while drawn < target:
                 if not self._budget_left(

@@ -31,6 +31,18 @@ from .profiling import PhaseTimer, cache_hit_report
 from .figures import ascii_chart, write_series_csv
 from .report import format_kv, format_series, format_table
 
+
+def __getattr__(name):
+    # Lazy so `python -m repro.experiments.replay` doesn't find the
+    # module pre-imported (runpy's double-import warning).
+    if name in ("cold_vs_warm_replay", "format_replay_report"):
+        from . import replay
+
+        return getattr(replay, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
 __all__ = [
     "SECTION6_FRACTIONS",
     "TABLE1_SECONDS",
@@ -57,6 +69,8 @@ __all__ = [
     "spawn_trial_rngs",
     "PhaseTimer",
     "cache_hit_report",
+    "cold_vs_warm_replay",
+    "format_replay_report",
     "ascii_chart",
     "write_series_csv",
     "format_kv",

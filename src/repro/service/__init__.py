@@ -1,0 +1,46 @@
+"""Online tuning service: the paper's primitive, run continuously.
+
+The comparison primitive (:mod:`repro.core`) answers one *offline*
+question: which of ``k`` configurations is best for *this* trace, with
+``Pr(correct selection) >= alpha``.  Its own framing (§1) assumes the
+trace is representative "for a representative period of time" — an
+assumption production traffic violates whenever the template mix
+drifts.  This package closes the loop:
+
+* :mod:`~repro.service.ingest` — streaming trace consumption into a
+  sliding window with per-template reservoirs;
+* :mod:`~repro.service.drift_monitor` — windowed template-mix
+  divergence with trigger thresholds and cooldowns;
+* :mod:`~repro.service.session` — warm-started re-selection sessions
+  around :class:`~repro.core.selector.ConfigurationSelector`, with a
+  per-retune optimizer-call budget and graceful degradation;
+* :mod:`~repro.service.events` — a structured JSONL event log making
+  every decision observable and replayable;
+* :mod:`~repro.service.runner` — the loop itself, driving ingest ->
+  drift check -> retune over a recorded or generated trace
+  (``repro serve`` on the command line).
+
+Everything downstream of the drift trigger is the paper's machinery;
+the service layer is an extension (see ``docs/paper_mapping.md``).
+"""
+
+from .drift_monitor import DriftDecision, DriftMonitor, js_divergence
+from .events import EventLog, read_events
+from .ingest import StreamIngestor, WindowSnapshot
+from .runner import ServiceConfig, ServiceReport, run_service
+from .session import RetuneOutcome, TuningSession
+
+__all__ = [
+    "DriftDecision",
+    "DriftMonitor",
+    "js_divergence",
+    "EventLog",
+    "read_events",
+    "StreamIngestor",
+    "WindowSnapshot",
+    "ServiceConfig",
+    "ServiceReport",
+    "run_service",
+    "RetuneOutcome",
+    "TuningSession",
+]

@@ -1,0 +1,186 @@
+"""Template-mix drift detection over the ingest window.
+
+The paper assumes the trace stays representative; this module decides
+*when it stops being so*.  The monitor keeps the template-frequency
+distribution observed at the last re-selection (the *reference* mix)
+and scores the live window's mix against it with the Jensen–Shannon
+divergence — symmetric, finite for disjoint supports (unlike KL) and,
+in base 2, bounded in ``[0, 1]``, which makes thresholds portable
+across workloads.
+
+A trigger requires three things at once: divergence above
+``threshold``, a sufficiently full window (a half-empty window's mix
+is noise), and the cooldown elapsed since the last trigger (guarding
+against retune storms while the window still straddles a change
+point).  Every decision is returned as a :class:`DriftDecision` so
+the runner can log it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+__all__ = ["js_divergence", "DriftDecision", "DriftMonitor"]
+
+
+def js_divergence(p, q) -> float:
+    """Base-2 Jensen–Shannon divergence of two frequency vectors.
+
+    Inputs are non-negative count/weight vectors of equal length; they
+    are normalized internally.  Returns a value in ``[0, 1]``: 0 for
+    identical mixes, 1 for disjoint supports.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape or p.ndim != 1:
+        raise ValueError(
+            f"need equal-length 1-D vectors, got {p.shape} and {q.shape}"
+        )
+    if (p < 0).any() or (q < 0).any():
+        raise ValueError("frequencies must be non-negative")
+    if p.sum() <= 0 or q.sum() <= 0:
+        raise ValueError("frequency vectors must have positive mass")
+    p = p / p.sum()
+    q = q / q.sum()
+    m = 0.5 * (p + q)
+
+    def _kl(a: np.ndarray, b: np.ndarray) -> float:
+        mask = a > 0
+        return float(np.sum(a[mask] * np.log2(a[mask] / b[mask])))
+
+    return 0.5 * _kl(p, m) + 0.5 * _kl(q, m)
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """Outcome of one drift check.
+
+    ``reason`` explains non-triggers: ``"no-reference"``,
+    ``"window-filling"``, ``"cooldown"``, ``"below-threshold"`` — or
+    ``"triggered"``.
+    """
+
+    score: float
+    triggered: bool
+    reason: str
+    position: int
+
+
+class DriftMonitor:
+    """Windowed template-mix divergence with threshold and cooldown.
+
+    Parameters
+    ----------
+    threshold:
+        Jensen–Shannon divergence (base 2, in ``[0, 1]``) beyond which
+        the mix counts as drifted.
+    cooldown:
+        Minimum statements between consecutive triggers.
+    min_window_fill:
+        Required window occupancy (fraction) before checks can
+        trigger; suppresses noise while the window first fills after
+        startup.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.05,
+        cooldown: int = 0,
+        min_window_fill: float = 0.5,
+    ) -> None:
+        if not (0.0 < threshold <= 1.0):
+            raise ValueError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if not (0.0 <= min_window_fill <= 1.0):
+            raise ValueError(
+                f"min_window_fill must be in [0, 1], got {min_window_fill}"
+            )
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.min_window_fill = min_window_fill
+        self._reference: Optional[Dict[int, int]] = None
+        self._last_trigger: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def reference(self) -> Optional[Dict[int, int]]:
+        """The mix the monitor currently scores against."""
+        return None if self._reference is None else dict(self._reference)
+
+    def set_reference(self, frequencies: Dict[int, int]) -> None:
+        """Adopt a mix as the new reference (call after each retune)."""
+        if not frequencies:
+            raise ValueError("reference mix must be non-empty")
+        self._reference = dict(frequencies)
+
+    def score(self, frequencies: Dict[int, int]) -> float:
+        """Divergence of a mix from the reference (no side effects)."""
+        if self._reference is None:
+            raise RuntimeError("no reference mix set")
+        tids = sorted(set(self._reference) | set(frequencies))
+        p = [self._reference.get(t, 0) for t in tids]
+        q = [frequencies.get(t, 0) for t in tids]
+        return js_divergence(p, q)
+
+    def check(
+        self,
+        frequencies: Dict[int, int],
+        position: int,
+        window_fill: float = 1.0,
+    ) -> DriftDecision:
+        """Score the live mix and decide whether to trigger a retune.
+
+        ``position`` is the stream position (total statements
+        ingested) used for cooldown accounting; a trigger records it.
+        """
+        if self._reference is None:
+            return DriftDecision(0.0, False, "no-reference", position)
+        value = self.score(frequencies)
+        if window_fill < self.min_window_fill:
+            return DriftDecision(value, False, "window-filling", position)
+        if (
+            self._last_trigger is not None
+            and position - self._last_trigger < self.cooldown
+        ):
+            return DriftDecision(value, False, "cooldown", position)
+        if value <= self.threshold:
+            return DriftDecision(value, False, "below-threshold", position)
+        self._last_trigger = position
+        return DriftDecision(value, True, "triggered", position)
+
+    # ------------------------------------------------------------------
+    def changed_templates(
+        self,
+        frequencies: Dict[int, int],
+        abs_tol: float = 0.02,
+        rel_tol: float = 0.25,
+    ) -> Set[int]:
+        """Templates whose window *share* moved materially.
+
+        A template changes when its share moved by more than
+        ``abs_tol`` (absolute, in share units) *and* by more than
+        ``rel_tol`` relative to the larger of old and new share.  This
+        is the warm-start invalidation set: only these templates get
+        resampled on the next retune; everything else carries its cost
+        samples forward.
+        """
+        if self._reference is None:
+            raise RuntimeError("no reference mix set")
+        ref_total = sum(self._reference.values())
+        now_total = sum(frequencies.values())
+        if now_total <= 0:
+            raise ValueError("current mix must be non-empty")
+        changed: Set[int] = set()
+        for tid in set(self._reference) | set(frequencies):
+            old = self._reference.get(tid, 0) / ref_total
+            new = frequencies.get(tid, 0) / now_total
+            diff = abs(new - old)
+            if diff > abs_tol and diff > rel_tol * max(old, new):
+                changed.add(tid)
+        return changed

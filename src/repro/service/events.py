@@ -1,0 +1,106 @@
+"""Structured JSONL event log for the online tuning service.
+
+Every decision the service takes — ingest batches, drift scores,
+retune start/stop, optimizer calls spent, the chosen configuration and
+the achieved ``Pr(CS)`` — is emitted as one JSON object per line, so a
+run is observable while it happens (``tail -f``) and replayable after
+the fact (:func:`read_events`).  Events carry a monotonically
+increasing ``seq`` and a wall-clock ``ts``; consumers should key on
+``seq`` (wall clocks can step).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["EventLog", "read_events"]
+
+
+class EventLog:
+    """Append-only event sink, in memory and optionally on disk.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to append events to; ``None`` keeps events in
+        memory only.  The file is created (truncated) on first emit,
+        and each event is flushed immediately so a crashed run leaves
+        a complete prefix.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.events: List[Dict[str, Any]] = []
+        self._seq = 0
+        self._fh = None
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event and return it.
+
+        ``kind`` names the event type (``"ingest"``, ``"drift_check"``,
+        ``"retune_start"``, ``"retune_end"``, ...); keyword arguments
+        become the payload and must be JSON-serializable.
+        """
+        event = {"seq": self._seq, "ts": time.time(), "kind": kind}
+        event.update(fields)
+        self._seq += 1
+        self.events.append(event)
+        if self.path is not None:
+            if self._fh is None:
+                self._fh = open(self.path, "w", encoding="utf-8")
+            self._fh.write(json.dumps(event, default=float) + "\n")
+            self._fh.flush()
+        return event
+
+    def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """All recorded events of one type, in emission order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def close(self) -> None:
+        """Close the underlying file (no-op for in-memory logs)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL event log back into a list of events.
+
+    Raises ``ValueError`` on malformed lines or out-of-order ``seq``
+    numbers, so it doubles as a validity check in tests and CI.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed event line: {exc}"
+                ) from exc
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ValueError(
+                    f"{path}:{lineno}: event is not an object with a "
+                    f"'kind' field"
+                )
+            if events and event.get("seq", -1) <= events[-1].get("seq", -1):
+                raise ValueError(
+                    f"{path}:{lineno}: event seq {event.get('seq')} is "
+                    f"not increasing"
+                )
+            events.append(event)
+    return events

@@ -1,0 +1,213 @@
+"""Streaming workload ingestion for the online tuning service.
+
+A production system does not hand the tuner a finished trace; queries
+arrive one at a time.  :class:`StreamIngestor` consumes that stream
+and maintains exactly the state re-selection needs:
+
+* a **sliding window** of the last ``window_size`` statements, giving
+  the current per-template frequency mix (what the drift monitor
+  compares);
+* a bounded **per-template reservoir** (Algorithm R) of query
+  instances, so each template — each stratification atom of §5 — is
+  represented by a *uniform* sample of its recent queries no matter
+  how hot the template runs.  Uniformity within templates is what
+  keeps the selector's stratified estimators unbiased.
+
+:meth:`StreamIngestor.snapshot` assembles the two into a
+:class:`~repro.workload.workload.Workload` mirroring the window's
+template mix (heavy templates capped at the reservoir capacity), built
+on a registry shared across snapshots so template ids are stable from
+one retune to the next — the property warm starts rely on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..queries.ast import Query
+from ..queries.templates import TemplateRegistry
+from ..workload.workload import Workload
+
+__all__ = ["StreamIngestor", "WindowSnapshot"]
+
+
+@dataclass
+class WindowSnapshot:
+    """A point-in-time workload assembled from the ingest state.
+
+    Attributes
+    ----------
+    workload:
+        The selection-ready workload: per template, a uniform sample
+        of its reservoir sized ``min(window count, reservoir size)``.
+    frequencies:
+        Per-template statement counts over the sliding window (the
+        mix the snapshot approximates).
+    capped_templates:
+        Templates whose window count exceeded the reservoir capacity
+        and were truncated; their relative weight in ``workload`` is
+        lower than in the live window.
+    position:
+        Total statements ingested when the snapshot was taken.
+    """
+
+    workload: Workload
+    frequencies: Dict[int, int]
+    capped_templates: List[int] = field(default_factory=list)
+    position: int = 0
+
+
+class StreamIngestor:
+    """Sliding-window + per-template-reservoir trace consumer.
+
+    Parameters
+    ----------
+    window_size:
+        Statements the sliding window holds; the frequency mix is
+        computed over this horizon.
+    reservoir_size:
+        Per-template reservoir capacity (Algorithm R).  Bounds memory
+        and snapshot size: a template never contributes more than this
+        many queries to a snapshot.
+    registry:
+        Template registry shared with downstream consumers; a fresh
+        one is created if omitted.  All snapshots share it, keeping
+        template ids stable across retunes.
+    rng:
+        Drives reservoir replacement; defaults to a fresh generator.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 400,
+        reservoir_size: int = 64,
+        registry: Optional[TemplateRegistry] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}"
+            )
+        self.window_size = window_size
+        self.reservoir_size = reservoir_size
+        self.registry = registry if registry is not None else \
+            TemplateRegistry()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.total_seen = 0
+        self._window: Deque[int] = deque()
+        self._counts: Counter = Counter()
+        self._reservoirs: Dict[int, List[Query]] = {}
+        self._arrivals: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def observe(self, query: Query, name: Optional[str] = None) -> int:
+        """Ingest one statement; returns its template id."""
+        tid = self.registry.template_id(query, name=name)
+        self.total_seen += 1
+        self._window.append(tid)
+        self._counts[tid] += 1
+        if len(self._window) > self.window_size:
+            evicted = self._window.popleft()
+            self._counts[evicted] -= 1
+            if self._counts[evicted] == 0:
+                del self._counts[evicted]
+        # Algorithm R within the template: after m arrivals the
+        # reservoir is a uniform sample of them.
+        reservoir = self._reservoirs.setdefault(tid, [])
+        arrivals = self._arrivals.get(tid, 0) + 1
+        self._arrivals[tid] = arrivals
+        if len(reservoir) < self.reservoir_size:
+            reservoir.append(query)
+        else:
+            slot = int(self.rng.integers(0, arrivals))
+            if slot < self.reservoir_size:
+                reservoir[slot] = query
+        return tid
+
+    def observe_batch(
+        self,
+        queries: Sequence[Query],
+        names: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[int]:
+        """Ingest a batch; returns the per-statement template ids."""
+        if names is not None and len(names) != len(queries):
+            raise ValueError(
+                f"{len(names)} names for {len(queries)} queries"
+            )
+        return [
+            self.observe(q, names[i] if names is not None else None)
+            for i, q in enumerate(queries)
+        ]
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def window_fill(self) -> float:
+        """Occupied fraction of the sliding window."""
+        return len(self._window) / self.window_size
+
+    def window_frequencies(self) -> Dict[int, int]:
+        """Per-template statement counts over the sliding window."""
+        return dict(self._counts)
+
+    def reservoir_count(self, template_id: int) -> int:
+        """Queries currently held for one template."""
+        return len(self._reservoirs.get(template_id, []))
+
+    def reset_reservoir(self, template_id: int) -> None:
+        """Drop one template's reservoir (forces fresh accumulation).
+
+        Used when a template's binding distribution is suspected to
+        have changed along with its frequency — the carried queries
+        would otherwise keep representing the old regime.
+        """
+        self._reservoirs.pop(template_id, None)
+        self._arrivals.pop(template_id, None)
+
+    # ------------------------------------------------------------------
+    # snapshotting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> WindowSnapshot:
+        """Assemble the current window into a selection-ready workload.
+
+        Template ``t`` with window count ``c_t`` contributes
+        ``min(c_t, reservoir size, reservoir fill)`` queries — a
+        uniform subsample of its reservoir (any fixed subset of
+        reservoir slots is itself uniform), so the workload's template
+        mix tracks the window's up to the reservoir cap.
+
+        Raises ``RuntimeError`` on an empty window.
+        """
+        if not self._counts:
+            raise RuntimeError("cannot snapshot an empty window")
+        queries: List[Query] = []
+        names: List[str] = []
+        capped: List[int] = []
+        for tid in sorted(self._counts):
+            count = self._counts[tid]
+            reservoir = self._reservoirs.get(tid, [])
+            take = min(count, len(reservoir))
+            if take < count:
+                capped.append(tid)
+            name = self.registry.name_of(tid)
+            for q in reservoir[:take]:
+                queries.append(q)
+                names.append(name)
+        workload = Workload(
+            queries, registry=self.registry, template_names=names
+        )
+        return WindowSnapshot(
+            workload=workload,
+            frequencies=self.window_frequencies(),
+            capped_templates=capped,
+            position=self.total_seen,
+        )

@@ -1,0 +1,304 @@
+"""The continuous-tuning loop: ingest -> drift check -> retune.
+
+:func:`run_service` replays a trace (recorded or generated) through
+the streaming stack in batches: each batch is ingested, the drift
+monitor scores the window mix against the mix at the last selection,
+and a trigger re-runs the comparison primitive — warm-started from the
+previous run's estimator state.  Every step emits a structured event
+(:mod:`~repro.service.events`), and the whole run is summarized in a
+:class:`ServiceReport`.
+
+The first selection happens once the window has filled (or the trace
+ends first); it is necessarily cold.  ``replay_speed`` throttles the
+replay to a statements-per-second rate for demos and soak tests; the
+default ``0`` replays as fast as the optimizer allows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.selector import SelectorOptions
+from ..workload.workload import Workload
+from .drift_monitor import DriftMonitor
+from .events import EventLog
+from .ingest import StreamIngestor
+from .session import RetuneOutcome, TuningSession
+
+__all__ = ["ServiceConfig", "ServiceReport", "run_service"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the service loop (see module docstring).
+
+    ``warm=False`` forces every retune to run cold — the baseline the
+    replay experiment compares against.
+    """
+
+    window_size: int = 400
+    batch_size: int = 50
+    reservoir_size: int = 64
+    drift_threshold: float = 0.05
+    cooldown: int = 200
+    min_window_fill: float = 0.5
+    retune_budget: Optional[int] = None
+    warm: bool = True
+    invalidate_abs_tol: float = 0.02
+    invalidate_rel_tol: float = 0.25
+    replay_speed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.replay_speed < 0:
+            raise ValueError(
+                f"replay_speed must be >= 0, got {self.replay_speed}"
+            )
+
+
+@dataclass
+class ServiceReport:
+    """Summary of one service run."""
+
+    statements: int = 0
+    drift_checks: int = 0
+    max_drift_score: float = 0.0
+    retunes: List[RetuneOutcome] = field(default_factory=list)
+    final_index: Optional[int] = None
+    total_optimizer_calls: int = 0
+
+    @property
+    def retune_count(self) -> int:
+        """Selections run, including the initial one."""
+        return len(self.retunes)
+
+    @property
+    def drift_retunes(self) -> List[RetuneOutcome]:
+        """Retunes caused by drift (everything after the initial)."""
+        return self.retunes[1:]
+
+    @property
+    def low_confidence_count(self) -> int:
+        """Retunes that exhausted their budget below ``alpha``."""
+        return sum(1 for r in self.retunes if r.low_confidence)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (selection history included)."""
+        return {
+            "statements": self.statements,
+            "drift_checks": self.drift_checks,
+            "max_drift_score": self.max_drift_score,
+            "final_index": self.final_index,
+            "total_optimizer_calls": self.total_optimizer_calls,
+            "low_confidence_count": self.low_confidence_count,
+            "retunes": [
+                {
+                    "chosen_index": r.chosen_index,
+                    "optimizer_calls": r.optimizer_calls,
+                    "warm": r.warm,
+                    "carried_samples": r.carried_samples,
+                    "invalidated_templates": sorted(
+                        r.invalidated_templates
+                    ),
+                    "accepted": r.accepted,
+                    "low_confidence": r.low_confidence,
+                    "prcs": r.selection.prcs,
+                    "terminated_by": r.selection.terminated_by,
+                }
+                for r in self.retunes
+            ],
+        }
+
+
+def run_service(
+    trace: Workload,
+    configurations: Sequence,
+    optimizer,
+    config: ServiceConfig = ServiceConfig(),
+    options: SelectorOptions = SelectorOptions(),
+    events: Optional[EventLog] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ServiceReport:
+    """Drive the continuous-tuning loop over a trace.
+
+    Parameters
+    ----------
+    trace:
+        The stream to replay, in trace order.
+    configurations:
+        The fixed candidate configurations the session chooses among.
+    optimizer:
+        The shared what-if optimizer (its call counter is the cost
+        meter).
+    config / options:
+        Loop knobs and selection tunables.
+    events:
+        Event sink; an in-memory :class:`EventLog` is created if
+        omitted.
+    """
+    if trace.size < 1:
+        raise ValueError("trace must contain at least one statement")
+    events = events if events is not None else EventLog()
+    rng = rng if rng is not None else np.random.default_rng()
+    # Independent streams for ingestion and selection, both derived
+    # from the caller's rng: the reservoir contents and the retune
+    # draws then depend only on the seed and the trace, not on how
+    # many samples earlier retunes consumed.  Two runs differing only
+    # in ``config.warm`` see identical snapshots and identical
+    # per-retune randomness — a matched-pairs comparison.
+    ingest_seed = int(rng.integers(2**31))
+    session_seed = int(rng.integers(2**31))
+
+    ingestor = StreamIngestor(
+        window_size=config.window_size,
+        reservoir_size=config.reservoir_size,
+        rng=np.random.default_rng(ingest_seed),
+    )
+    monitor = DriftMonitor(
+        threshold=config.drift_threshold,
+        cooldown=config.cooldown,
+        min_window_fill=config.min_window_fill,
+    )
+    session = TuningSession(
+        configurations,
+        optimizer,
+        options=options,
+        retune_budget=config.retune_budget,
+        seed=session_seed,
+    )
+    report = ServiceReport()
+    events.emit(
+        "service_start",
+        statements=trace.size,
+        k=len(list(configurations)),
+        window_size=config.window_size,
+        batch_size=config.batch_size,
+        reservoir_size=config.reservoir_size,
+        drift_threshold=config.drift_threshold,
+        cooldown=config.cooldown,
+        retune_budget=config.retune_budget,
+        warm=config.warm,
+        alpha=options.alpha,
+        scheme=options.scheme,
+    )
+
+    first_tune_at = min(config.window_size, trace.size)
+    names = [
+        trace.registry.name_of(int(t)) for t in trace.template_ids
+    ]
+    position = 0
+    while position < trace.size:
+        hi = min(position + config.batch_size, trace.size)
+        batch_len = hi - position
+        ingestor.observe_batch(
+            trace.queries[position:hi], names[position:hi]
+        )
+        position = hi
+        report.statements = position
+        frequencies = ingestor.window_frequencies()
+        events.emit(
+            "ingest",
+            position=position,
+            batch=batch_len,
+            window_fill=ingestor.window_fill,
+            templates=len(frequencies),
+        )
+        if config.replay_speed > 0:
+            time.sleep(batch_len / config.replay_speed)
+
+        if session.current_index is None:
+            if position >= first_tune_at:
+                _retune(
+                    session, ingestor, monitor, events, report,
+                    warm=False, trigger_score=None,
+                )
+            continue
+
+        decision = monitor.check(
+            frequencies, position, window_fill=ingestor.window_fill
+        )
+        report.drift_checks += 1
+        report.max_drift_score = max(
+            report.max_drift_score, decision.score
+        )
+        events.emit(
+            "drift_check",
+            position=position,
+            score=decision.score,
+            triggered=decision.triggered,
+            reason=decision.reason,
+        )
+        if decision.triggered:
+            _retune(
+                session, ingestor, monitor, events, report,
+                warm=config.warm, trigger_score=decision.score,
+                invalidate=(
+                    monitor.changed_templates(
+                        frequencies,
+                        abs_tol=config.invalidate_abs_tol,
+                        rel_tol=config.invalidate_rel_tol,
+                    )
+                    if config.warm
+                    else None
+                ),
+            )
+
+    report.final_index = session.current_index
+    report.total_optimizer_calls = session.total_calls
+    events.emit(
+        "service_end",
+        statements=report.statements,
+        retunes=report.retune_count,
+        final_index=report.final_index,
+        total_optimizer_calls=report.total_optimizer_calls,
+        low_confidence=report.low_confidence_count,
+    )
+    return report
+
+
+def _retune(
+    session: TuningSession,
+    ingestor: StreamIngestor,
+    monitor: DriftMonitor,
+    events: EventLog,
+    report: ServiceReport,
+    warm: bool,
+    trigger_score: Optional[float],
+    invalidate=None,
+) -> None:
+    """One selection pass: snapshot, select, log, re-reference."""
+    snapshot = ingestor.snapshot()
+    events.emit(
+        "retune_start",
+        position=snapshot.position,
+        trigger_score=trigger_score,
+        warm=warm,
+        window_statements=sum(snapshot.frequencies.values()),
+        snapshot_statements=snapshot.workload.size,
+        capped_templates=len(snapshot.capped_templates),
+        invalidated_templates=sorted(invalidate or ()),
+    )
+    outcome = session.retune(
+        snapshot.workload, warm=warm, invalidate_templates=invalidate
+    )
+    report.retunes.append(outcome)
+    monitor.set_reference(snapshot.frequencies)
+    events.emit(
+        "retune_end",
+        position=snapshot.position,
+        chosen_index=outcome.chosen_index,
+        optimizer_calls=outcome.optimizer_calls,
+        warm=outcome.warm,
+        carried_samples=outcome.carried_samples,
+        accepted=outcome.accepted,
+        low_confidence=outcome.low_confidence,
+        prcs=outcome.selection.prcs,
+        terminated_by=outcome.selection.terminated_by,
+    )

@@ -1,0 +1,191 @@
+"""Warm-started re-selection sessions.
+
+A :class:`TuningSession` owns the candidate configurations and the
+"currently deployed" choice, and re-runs the paper's selection
+procedure on demand.  Two operational concerns sit on top of the
+offline primitive:
+
+* **Warm starts** — after every run the selector's estimator state is
+  exported (:class:`~repro.core.selector.SelectorState`) and carried
+  into the next retune.  Templates whose mix changed (the drift
+  monitor's invalidation set) are dropped and resampled; everything
+  else reuses its per-stratum cost samples, so a retune after mild
+  drift spends a fraction of a cold run's optimizer calls.
+* **Budgeted degradation** — each retune gets an optimizer-call
+  budget.  When the budget runs out before ``Pr(CS) > alpha``, the
+  session *keeps the currently deployed configuration* and flags the
+  outcome as low-confidence instead of deploying an under-sampled
+  winner.  (The sampled state is still carried forward — the spent
+  calls are not wasted.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.selector import (
+    ConfigurationSelector,
+    SelectionResult,
+    SelectorOptions,
+    SelectorState,
+)
+from ..core.sources import OptimizerCostSource
+from ..workload.workload import Workload
+
+__all__ = ["RetuneOutcome", "TuningSession"]
+
+
+@dataclass
+class RetuneOutcome:
+    """What one retune did.
+
+    ``chosen_index`` is the configuration the session is deployed on
+    *after* the retune — on graceful degradation that is the previous
+    choice, not the run's ``selection.best_index``.
+    """
+
+    selection: SelectionResult
+    chosen_index: int
+    optimizer_calls: int
+    warm: bool
+    carried_samples: int
+    invalidated_templates: Set[int] = field(default_factory=set)
+    accepted: bool = True
+    low_confidence: bool = False
+
+
+class TuningSession:
+    """The deployed-configuration state machine around the selector.
+
+    Parameters
+    ----------
+    configurations:
+        The fixed candidate set; ``chosen_index`` values index it.
+    optimizer:
+        A :class:`~repro.optimizer.whatif.WhatIfOptimizer`; all
+        retunes share it (and therefore its call counter).
+    options:
+        Selection tunables; ``max_calls`` is overridden per retune by
+        ``retune_budget``.
+    retune_budget:
+        Optimizer-call budget per retune (``None`` = unbudgeted).
+        Carried warm-start samples are free — the budget only limits
+        *fresh* calls.
+    seed:
+        When given, retune ``i`` samples with a fresh
+        ``default_rng((seed, i))`` — so two sessions over the same
+        snapshots draw identically at each retune no matter how many
+        draws earlier retunes consumed.  This is what makes cold and
+        warm runs of the replay experiment matched pairs.
+    rng:
+        Shared generator driving all retunes; ignored when ``seed``
+        is given.
+    """
+
+    def __init__(
+        self,
+        configurations: Sequence,
+        optimizer,
+        options: SelectorOptions = SelectorOptions(),
+        retune_budget: Optional[int] = None,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not configurations:
+            raise ValueError("need at least one candidate configuration")
+        if retune_budget is not None and retune_budget < 1:
+            raise ValueError(
+                f"retune_budget must be >= 1, got {retune_budget}"
+            )
+        self.configurations = list(configurations)
+        self.optimizer = optimizer
+        self.options = options
+        self.retune_budget = retune_budget
+        self.seed = seed
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.current_index: Optional[int] = None
+        self.retune_count = 0
+        self.total_calls = 0
+        self._state: Optional[SelectorState] = None
+
+    def _retune_rng(self) -> np.random.Generator:
+        if self.seed is not None:
+            return np.random.default_rng((self.seed, self.retune_count))
+        return self.rng
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> Optional[SelectorState]:
+        """The estimator state the next warm retune would start from."""
+        return self._state
+
+    def restore_state(self, state: Optional[SelectorState]) -> None:
+        """Adopt a checkpointed estimator state (see
+        :meth:`SelectorState.from_dict`)."""
+        self._state = state
+
+    def retune(
+        self,
+        workload: Workload,
+        warm: bool = True,
+        invalidate_templates: Optional[Set[int]] = None,
+    ) -> RetuneOutcome:
+        """Run a (re-)selection over a window snapshot.
+
+        Parameters
+        ----------
+        workload:
+            The selection workload, typically
+            :meth:`~repro.service.ingest.StreamIngestor.snapshot`'s
+            output; must share the template registry with previous
+            snapshots for warm starts to line up.
+        warm:
+            Carry the previous run's estimator state forward.  The
+            first retune of a session is always effectively cold.
+        invalidate_templates:
+            Templates to drop from the carried state (resampled from
+            scratch); ignored for cold retunes.
+        """
+        invalidated = set(invalidate_templates or ())
+        state = self._state if warm else None
+        if state is not None and invalidated:
+            state = state.drop_templates(invalidated)
+        source = OptimizerCostSource(
+            workload, self.configurations, self.optimizer
+        )
+        options = replace(self.options, max_calls=self.retune_budget)
+        selector = ConfigurationSelector(
+            source,
+            workload.template_ids,
+            options,
+            rng=self._retune_rng(),
+            warm_state=state,
+        )
+        result = selector.run()
+
+        low_confidence = (
+            result.terminated_by == "max_calls"
+            and result.prcs <= self.options.alpha
+        )
+        degraded = low_confidence and self.current_index is not None
+        chosen = self.current_index if degraded else result.best_index
+
+        # Keep the sampled state either way: a degraded retune's calls
+        # still bought information the next retune can reuse.
+        self._state = selector.export_state()
+        self.current_index = chosen
+        self.retune_count += 1
+        self.total_calls += result.optimizer_calls
+        return RetuneOutcome(
+            selection=result,
+            chosen_index=int(chosen),
+            optimizer_calls=result.optimizer_calls,
+            warm=state is not None,
+            carried_samples=selector.carried_samples,
+            invalidated_templates=invalidated,
+            accepted=not degraded,
+            low_confidence=low_confidence,
+        )

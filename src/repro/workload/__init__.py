@@ -1,7 +1,7 @@
 """Workload substrate: containers, storage, and the two evaluation workloads."""
 
-from .drift import DriftReport, drifting_workload, ranking_stability, \
-    window_totals
+from .drift import DriftReport, change_point_workload, \
+    drifting_workload, ranking_stability, window_totals
 from .crm import crm_generator, crm_schema, crm_templates, \
     generate_crm_workload
 from .generator import FilterSlot, QueryTemplate, WorkloadGenerator
@@ -17,6 +17,7 @@ from .workload import Workload
 
 __all__ = [
     "DriftReport",
+    "change_point_workload",
     "drifting_workload",
     "ranking_stability",
     "window_totals",

@@ -32,10 +32,30 @@ from .workload import Workload
 
 __all__ = [
     "drifting_workload",
+    "change_point_workload",
     "window_totals",
     "ranking_stability",
     "DriftReport",
 ]
+
+
+def _validated_mixes(
+    templates, start_weights, end_weights
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and normalize a pair of template weight vectors."""
+    k = len(templates)
+    start = np.asarray(start_weights, dtype=np.float64)
+    end = np.asarray(end_weights, dtype=np.float64)
+    if start.shape != (k,) or end.shape != (k,):
+        raise ValueError(
+            f"weight vectors must have length {k} "
+            f"(got {start.shape} and {end.shape})"
+        )
+    if (start < 0).any() or (end < 0).any():
+        raise ValueError("weights must be non-negative")
+    if start.sum() <= 0 or end.sum() <= 0:
+        raise ValueError("weight vectors must have positive mass")
+    return start / start.sum(), end / end.sum()
 
 
 def drifting_workload(
@@ -61,28 +81,61 @@ def drifting_workload(
     """
     templates = generator.templates
     k = len(templates)
-    start = np.asarray(start_weights, dtype=np.float64)
-    end = np.asarray(end_weights, dtype=np.float64)
-    if start.shape != (k,) or end.shape != (k,):
-        raise ValueError(
-            f"weight vectors must have length {k} "
-            f"(got {start.shape} and {end.shape})"
-        )
-    if (start < 0).any() or (end < 0).any():
-        raise ValueError("weights must be non-negative")
-    if start.sum() <= 0 or end.sum() <= 0:
-        raise ValueError("weight vectors must have positive mass")
+    start, end = _validated_mixes(templates, start_weights, end_weights)
     if n < 1:
         raise ValueError(f"trace length must be >= 1, got {n}")
 
-    start = start / start.sum()
-    end = end / end.sum()
     queries = []
     names = []
     for i in range(n):
         frac = i / max(1, n - 1)
         probs = (1.0 - frac) * start + frac * end
         probs = probs / probs.sum()
+        t_idx = int(rng.choice(k, p=probs))
+        template = templates[t_idx]
+        queries.append(generator.instantiate(template, rng))
+        names.append(template.name)
+    return Workload(queries, template_names=names)
+
+
+def change_point_workload(
+    generator: WorkloadGenerator,
+    n: int,
+    start_weights: Sequence[float],
+    end_weights: Sequence[float],
+    change_at: int,
+    rng: np.random.Generator,
+) -> Workload:
+    """Generate a trace with an abrupt, planted template-mix change.
+
+    Statements ``[0, change_at)`` draw their templates from
+    ``start_weights``; statements ``[change_at, n)`` from
+    ``end_weights``.  Unlike :func:`drifting_workload`'s linear
+    interpolation, the mix switches at a single known position, which
+    makes the trace the canonical fixture for change-detection tests:
+    a drift monitor should fire shortly after ``change_at`` and not
+    before.
+
+    Parameters
+    ----------
+    change_at:
+        The planted change point, in statements; must satisfy
+        ``1 <= change_at <= n - 1`` so both regimes are non-empty.
+    """
+    templates = generator.templates
+    k = len(templates)
+    start, end = _validated_mixes(templates, start_weights, end_weights)
+    if n < 2:
+        raise ValueError(f"trace length must be >= 2, got {n}")
+    if not (1 <= change_at <= n - 1):
+        raise ValueError(
+            f"change_at must be in [1, {n - 1}], got {change_at}"
+        )
+
+    queries = []
+    names = []
+    for i in range(n):
+        probs = start if i < change_at else end
         t_idx = int(rng.choice(k, p=probs))
         template = templates[t_idx]
         queries.append(generator.instantiate(template, rng))
@@ -136,31 +189,58 @@ def ranking_stability(window_costs: np.ndarray) -> DriftReport:
     """Analyze per-window costs for choice stability.
 
     ``window_costs`` is the ``(windows, k)`` array from
-    :func:`window_totals`.  The head choice is the winner of the first
+    :func:`window_totals`; a 1-D array of length ``k`` is accepted as
+    a single window.  The head choice is the winner of the first
     window; ``stable_windows`` counts the prefix of windows where it
-    stays the winner, and ``final_regret`` is its relative excess cost
-    in the last window.
+    stays the winner (it equals the window count — and ``drifted`` is
+    ``False`` — when the head choice never loses, including the
+    single-window case, where it is always ``1``); ``final_regret`` is
+    the head choice's relative excess cost in the last window.
+
+    Edge cases are well-defined rather than errors:
+
+    * *Empty windows* — all-zero rows, as :func:`window_totals`
+      produces when ``windows`` exceeds the number of statements (the
+      "empty tail") — carry the previous window's winner forward: a
+      window with no statements is no evidence that the choice
+      changed.  A trace whose *first* windows are empty defaults the
+      head choice to configuration ``0``.
+    * ``final_regret`` is computed on the last *non-empty* window and
+      is ``0.0`` when every window is empty or the reference minimum
+      is non-positive.
+
+    Raises ``ValueError`` for zero windows or zero configurations.
     """
     window_costs = np.asarray(window_costs, dtype=np.float64)
-    if window_costs.ndim != 2 or window_costs.shape[0] < 1:
+    if window_costs.ndim == 1:
+        window_costs = window_costs[np.newaxis, :]
+    if window_costs.ndim != 2:
         raise ValueError("window_costs must be a (windows, k) array")
-    per_window_best = tuple(
-        int(np.argmin(window_costs[w]))
-        for w in range(window_costs.shape[0])
-    )
+    if window_costs.shape[0] < 1:
+        raise ValueError("need at least one window")
+    if window_costs.shape[1] < 1:
+        raise ValueError("need at least one configuration")
+    nonempty = window_costs.any(axis=1)
+    per_window_best: List[int] = []
+    previous = 0
+    for w in range(window_costs.shape[0]):
+        if nonempty[w]:
+            previous = int(np.argmin(window_costs[w]))
+        per_window_best.append(previous)
     head = per_window_best[0]
     stable = 0
     for best in per_window_best:
         if best != head:
             break
         stable += 1
-    last = window_costs[-1]
-    final_regret = float(
-        (last[head] - last.min()) / last.min() if last.min() > 0 else 0.0
-    )
+    final_regret = 0.0
+    if nonempty.any():
+        last = window_costs[np.flatnonzero(nonempty)[-1]]
+        if last.min() > 0:
+            final_regret = float((last[head] - last.min()) / last.min())
     return DriftReport(
         head_choice=head,
-        per_window_best=per_window_best,
+        per_window_best=tuple(per_window_best),
         stable_windows=stable,
         final_regret=final_regret,
     )

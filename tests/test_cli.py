@@ -119,6 +119,40 @@ class TestCommands:
         assert report["build_stats"]["cells"] == 150 * 4
         assert "phases" in report and "cache_report" in report
 
+    def test_serve_smoke(self, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        code = main([
+            "serve", "--db", "tpcd", "--size", "240", "--k", "3",
+            "--seed", "0", "--window", "60", "--batch", "20",
+            "--threshold", "0.05", "--cooldown", "40", "--n-min", "8",
+            "--events", events,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final configuration" in out
+        assert "drift checks" in out
+        from repro.service import read_events
+
+        kinds = [e["kind"] for e in read_events(events)]
+        assert kinds[0] == "service_start"
+        assert kinds[-1] == "service_end"
+        assert "retune_end" in kinds
+
+    def test_serve_json_cold(self, capsys):
+        import json
+
+        code = main([
+            "serve", "--db", "tpcd", "--size", "160", "--k", "3",
+            "--seed", "1", "--window", "60", "--batch", "20",
+            "--cooldown", "40", "--n-min", "8", "--cold", "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["statements"] == 160
+        assert report["retunes"]
+        assert all(r["carried_samples"] == 0 for r in report["retunes"])
+        assert report["final_config"] is not None
+
     def test_mc_workers_bit_identical(self, capsys):
         argv = [
             "mc", "--db", "tpcd", "--size", "150", "--k", "4",

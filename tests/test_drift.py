@@ -9,6 +9,7 @@ from repro.queries import ColumnRef, QueryType
 from repro.workload import WorkloadGenerator
 from repro.workload.drift import (
     DriftReport,
+    change_point_workload,
     drifting_workload,
     ranking_stability,
     window_totals,
@@ -55,6 +56,30 @@ class TestDriftingWorkload:
         share_head = (wl.template_ids[:200] == 0).mean()
         share_tail = (wl.template_ids[200:] == 0).mean()
         assert abs(share_head - share_tail) < 0.15
+
+    def test_change_point_is_abrupt(self, two_template_generator, rng):
+        wl = change_point_workload(
+            two_template_generator, 400, [1.0, 0.0], [0.0, 1.0], 250, rng
+        )
+        assert wl.size == 400
+        # Pure mixes on either side of the planted change point.
+        assert len(np.unique(wl.template_ids[:250])) == 1
+        assert len(np.unique(wl.template_ids[250:])) == 1
+        assert wl.template_ids[0] != wl.template_ids[-1]
+
+    def test_change_point_validation(self, two_template_generator, rng):
+        with pytest.raises(ValueError):
+            change_point_workload(
+                two_template_generator, 10, [1, 0], [0, 1], 0, rng
+            )
+        with pytest.raises(ValueError):
+            change_point_workload(
+                two_template_generator, 10, [1, 0], [0, 1], 10, rng
+            )
+        with pytest.raises(ValueError):
+            change_point_workload(
+                two_template_generator, 1, [1, 0], [0, 1], 1, rng
+            )
 
     def test_validation(self, two_template_generator, rng):
         with pytest.raises(ValueError):
@@ -130,4 +155,40 @@ class TestWindowAnalysis:
 
     def test_ranking_stability_validation(self):
         with pytest.raises(ValueError):
-            ranking_stability(np.zeros(5))
+            ranking_stability(np.zeros((3, 4, 2)))
+        with pytest.raises(ValueError):
+            ranking_stability(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            ranking_stability(np.zeros((3, 0)))
+
+    def test_single_window_trace(self):
+        """A 1-D cost vector is one window: stable, zero regret."""
+        report = ranking_stability(np.array([3.0, 1.0, 2.0]))
+        assert report.head_choice == 1
+        assert report.per_window_best == (1,)
+        assert report.stable_windows == 1
+        assert not report.drifted
+        assert report.final_regret == pytest.approx(0.0)
+
+    def test_empty_tail_windows_carry_winner_forward(self):
+        """All-zero (empty) windows inherit the previous winner and are
+        skipped by the regret computation."""
+        costs = np.array([
+            [5.0, 9.0],
+            [6.0, 8.0],
+            [0.0, 0.0],   # empty tail window (windows > statements)
+        ])
+        report = ranking_stability(costs)
+        assert report.head_choice == 0
+        assert report.per_window_best == (0, 0, 0)
+        assert report.stable_windows == 3
+        assert not report.drifted
+        # Regret comes from the last non-empty window, where the head
+        # choice still wins.
+        assert report.final_regret == pytest.approx(0.0)
+
+    def test_all_empty_windows_default(self):
+        report = ranking_stability(np.zeros((4, 3)))
+        assert report.head_choice == 0
+        assert report.stable_windows == 4
+        assert report.final_regret == pytest.approx(0.0)

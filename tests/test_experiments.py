@@ -191,6 +191,43 @@ class TestCache:
         assert calls["n"] == 2
 
 
+class TestColdVsWarmReplay:
+    def test_scaled_down_replay(self):
+        """End-to-end replay: drift is detected in both modes, warm
+        retunes carry samples and spend fewer optimizer calls, and
+        both modes land on the configuration a from-scratch run over
+        the post-drift tail picks.  Everything is seeded, so the
+        savings assertion is deterministic."""
+        from repro.experiments.replay import (
+            cold_vs_warm_replay,
+            format_replay_report,
+        )
+
+        result = cold_vs_warm_replay(
+            size=500, seed=1, window=180, batch=40, cooldown=80,
+            threshold=0.04,
+        )
+        warm_calls = result["warm_drift_retune_calls"]
+        cold_calls = result["cold_drift_retune_calls"]
+        assert warm_calls, "drift never triggered a retune"
+        assert len(warm_calls) == len(cold_calls)
+        assert any(c > 0 for c in result["carried_samples"])
+        assert sum(warm_calls) < sum(cold_calls)
+        assert result["savings_fraction"] > 0
+        assert result["warm_total_calls"] < result["cold_total_calls"]
+        assert result["warm_final_index"] == result["scratch_tail_index"]
+        assert result["cold_final_index"] == result["scratch_tail_index"]
+        report = format_replay_report(result)
+        assert "call savings" in report
+        assert "final configuration" in report
+
+    def test_rejects_unknown_db(self):
+        from repro.experiments.replay import cold_vs_warm_replay
+
+        with pytest.raises(ValueError):
+            cold_vs_warm_replay(db="oracle")
+
+
 class TestReport:
     def test_format_table_aligned(self):
         out = format_table(

@@ -1,0 +1,129 @@
+"""Tests for SelectorState export/import and warm-started selection."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigurationSelector,
+    MatrixCostSource,
+    SelectorOptions,
+    SelectorState,
+)
+
+from tests.test_core_selector import make_population
+
+
+def run_once(matrix, template_ids, scheme, seed, warm_state=None,
+             **opt_kw):
+    source = MatrixCostSource(matrix)
+    options = SelectorOptions(alpha=0.9, scheme=scheme, **opt_kw)
+    selector = ConfigurationSelector(
+        source, template_ids, options,
+        rng=np.random.default_rng(seed), warm_state=warm_state,
+    )
+    return selector, selector.run()
+
+
+class TestStateExport:
+    @pytest.mark.parametrize("scheme", ["delta", "independent"])
+    def test_roundtrips_through_json(self, rng, scheme):
+        template_ids, matrix = make_population(rng, n=600)
+        selector, result = run_once(matrix, template_ids, scheme, 5)
+        state = selector.export_state()
+        assert state.scheme == scheme
+        assert state.n_configs == matrix.shape[1]
+        assert state.sample_count() > 0
+        payload = json.loads(json.dumps(state.to_dict()))
+        restored = SelectorState.from_dict(payload)
+        assert restored.scheme == state.scheme
+        assert restored.n_configs == state.n_configs
+        assert restored.sample_count() == state.sample_count()
+        assert restored.template_ids() == state.template_ids()
+
+    def test_export_before_run_raises(self, rng):
+        template_ids, matrix = make_population(rng, n=400)
+        selector = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids,
+            SelectorOptions(alpha=0.9), rng=rng,
+        )
+        with pytest.raises(RuntimeError):
+            selector.export_state()
+
+    def test_drop_templates(self, rng):
+        template_ids, matrix = make_population(rng, n=600)
+        selector, _ = run_once(matrix, template_ids, "delta", 5)
+        state = selector.export_state()
+        victim = state.template_ids()[0]
+        smaller = state.drop_templates([victim])
+        assert victim not in smaller.template_ids()
+        assert smaller.sample_count() < state.sample_count()
+        # The original is untouched.
+        assert victim in state.template_ids()
+
+
+class TestWarmStart:
+    @pytest.mark.parametrize("scheme", ["delta", "independent"])
+    def test_warm_run_same_choice_fewer_calls(self, rng, scheme):
+        """Re-running over the same population with the previous run's
+        state carried forward must agree on the winner while spending
+        strictly fewer fresh optimizer calls.  Gaps are wide enough
+        that the winner is unambiguous — near-tie behaviour is covered
+        by the session-level matched-pair tests."""
+        template_ids, matrix = make_population(
+            rng, n=800, rel_gaps=(0.0, 0.25, 0.5)
+        )
+        cold_selector, cold = run_once(matrix, template_ids, scheme, 9)
+        state = cold_selector.export_state()
+        warm_selector, warm = run_once(
+            matrix, template_ids, scheme, 11, warm_state=state
+        )
+        assert warm_selector.carried_samples > 0
+        assert warm.best_index == cold.best_index
+        assert warm.optimizer_calls < cold.optimizer_calls
+
+    def test_carried_counts_clamp_to_population(self, rng):
+        """Warm state from a big window imported into a smaller one
+        must not claim more samples than the new population holds."""
+        template_ids, matrix = make_population(rng, n=900)
+        cold_selector, _ = run_once(matrix, template_ids, "delta", 9)
+        state = cold_selector.export_state()
+        # Shrink the population: keep the first 120 queries.
+        small_ids = template_ids[:120]
+        small_matrix = matrix[:120]
+        selector = ConfigurationSelector(
+            MatrixCostSource(small_matrix), small_ids,
+            SelectorOptions(alpha=0.9, scheme="delta"),
+            rng=np.random.default_rng(3), warm_state=state,
+        )
+        result = selector.run()
+        sizes = {
+            int(t): int(c)
+            for t, c in zip(*np.unique(small_ids, return_counts=True))
+        }
+        assert result.queries_sampled <= sum(sizes.values())
+
+    def test_scheme_mismatch_rejected(self, rng):
+        template_ids, matrix = make_population(rng, n=400)
+        selector, _ = run_once(matrix, template_ids, "delta", 5)
+        state = selector.export_state()
+        with pytest.raises(ValueError):
+            ConfigurationSelector(
+                MatrixCostSource(matrix), template_ids,
+                SelectorOptions(alpha=0.9, scheme="independent"),
+                rng=rng, warm_state=state,
+            )
+
+    def test_config_count_mismatch_rejected(self, rng):
+        template_ids, matrix = make_population(rng, n=400)
+        selector, _ = run_once(matrix, template_ids, "delta", 5)
+        state = selector.export_state()
+        with pytest.raises(ValueError):
+            ConfigurationSelector(
+                MatrixCostSource(matrix[:, :2]), template_ids,
+                SelectorOptions(alpha=0.9, scheme="delta"),
+                rng=rng, warm_state=state,
+            )

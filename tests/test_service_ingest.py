@@ -1,0 +1,153 @@
+"""Tests for the streaming ingest layer of the online tuning service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries import ColumnRef, EqPredicate, Query, QueryType, RangePredicate
+from repro.queries.templates import TemplateRegistry
+from repro.service import StreamIngestor
+
+
+def lookup(v: int) -> Query:
+    """A point lookup; every value binds the same template."""
+    return Query(
+        qtype=QueryType.SELECT,
+        tables=("orders",),
+        filters=(EqPredicate(ColumnRef("orders", "o_id"), v),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+
+
+def datescan(lo: int) -> Query:
+    return Query(
+        qtype=QueryType.SELECT,
+        tables=("orders",),
+        filters=(RangePredicate(ColumnRef("orders", "o_date"), lo, lo + 50),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+
+
+class TestSlidingWindow:
+    def test_counts_follow_the_window(self, rng):
+        ing = StreamIngestor(window_size=6, reservoir_size=4, rng=rng)
+        for i in range(6):
+            tid_lookup = ing.observe(lookup(i), name="lookup")
+        for i in range(4):
+            tid_scan = ing.observe(datescan(i), name="scan")
+        freqs = ing.window_frequencies()
+        assert sum(freqs.values()) == 6
+        # The four scans evicted the four oldest lookups.
+        assert freqs[tid_scan] == 4
+        assert freqs[tid_lookup] == 2
+        assert ing.total_seen == 10
+
+    def test_evicted_template_disappears(self, rng):
+        ing = StreamIngestor(window_size=4, reservoir_size=4, rng=rng)
+        ing.observe(lookup(0), name="lookup")
+        for i in range(4):
+            tid_scan = ing.observe(datescan(i), name="scan")
+        assert ing.window_frequencies() == {tid_scan: 4}
+
+    def test_window_fill(self, rng):
+        ing = StreamIngestor(window_size=10, reservoir_size=4, rng=rng)
+        assert ing.window_fill == 0.0
+        for i in range(5):
+            ing.observe(lookup(i))
+        assert ing.window_fill == pytest.approx(0.5)
+        for i in range(20):
+            ing.observe(lookup(i))
+        assert ing.window_fill == pytest.approx(1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            StreamIngestor(window_size=0)
+        with pytest.raises(ValueError):
+            StreamIngestor(reservoir_size=0)
+
+    def test_batch_name_mismatch(self, rng):
+        ing = StreamIngestor(rng=rng)
+        with pytest.raises(ValueError):
+            ing.observe_batch([lookup(0), lookup(1)], names=["lookup"])
+
+
+class TestReservoir:
+    def test_capacity_bound(self, rng):
+        ing = StreamIngestor(window_size=100, reservoir_size=4, rng=rng)
+        tid = None
+        for i in range(50):
+            tid = ing.observe(lookup(i), name="lookup")
+        assert ing.reservoir_count(tid) == 4
+
+    def test_replacement_reaches_late_arrivals(self, rng):
+        """Algorithm R must sample beyond the first ``reservoir_size``
+        arrivals — with a fixed seed some late query replaces an early
+        one once enough statements stream past."""
+        ing = StreamIngestor(window_size=500, reservoir_size=4, rng=rng)
+        tid = None
+        for i in range(400):
+            tid = ing.observe(lookup(i), name="lookup")
+        snap = ing.snapshot()
+        values = {q.filters[0].value for q in snap.workload}
+        assert values != {0, 1, 2, 3}
+
+    def test_reset_reservoir(self, rng):
+        ing = StreamIngestor(window_size=10, reservoir_size=4, rng=rng)
+        tid = None
+        for i in range(8):
+            tid = ing.observe(lookup(i), name="lookup")
+        ing.reset_reservoir(tid)
+        assert ing.reservoir_count(tid) == 0
+        # Fresh accumulation restarts from zero arrivals.
+        ing.observe(lookup(99), name="lookup")
+        assert ing.reservoir_count(tid) == 1
+
+
+class TestSnapshot:
+    def test_empty_window_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            StreamIngestor(rng=rng).snapshot()
+
+    def test_mix_and_capping(self, rng):
+        ing = StreamIngestor(window_size=10, reservoir_size=3, rng=rng)
+        tid_l = [ing.observe(lookup(i), name="lookup") for i in range(6)][0]
+        tid_s = [ing.observe(datescan(i), name="scan") for i in range(4)][0]
+        snap = ing.snapshot()
+        # Both templates exceed the reservoir cap of 3 except the scan.
+        sizes = snap.workload.template_sizes()
+        assert sizes[tid_l] == 3          # 6 in window, capped at 3
+        assert sizes[tid_s] == 3          # 4 in window, capped at 3
+        assert sorted(snap.capped_templates) == sorted([tid_l, tid_s])
+        assert snap.frequencies == {tid_l: 6, tid_s: 4}
+        assert snap.position == 10
+
+    def test_uncapped_template_mirrors_window_count(self, rng):
+        ing = StreamIngestor(window_size=20, reservoir_size=8, rng=rng)
+        tid = None
+        for i in range(5):
+            tid = ing.observe(lookup(i), name="lookup")
+        snap = ing.snapshot()
+        assert snap.workload.template_sizes()[tid] == 5
+        assert snap.capped_templates == []
+
+    def test_template_ids_stable_across_snapshots(self, rng):
+        registry = TemplateRegistry()
+        ing = StreamIngestor(
+            window_size=8, reservoir_size=4, registry=registry, rng=rng
+        )
+        for i in range(4):
+            ing.observe(lookup(i), name="lookup")
+        first = ing.snapshot()
+        for i in range(6):
+            ing.observe(datescan(i), name="scan")
+        second = ing.snapshot()
+        # The lookup template keeps its id in the later snapshot even
+        # though the mix around it changed — both workloads share the
+        # registry the ingestor was built with.
+        assert first.workload.registry is registry
+        assert second.workload.registry is registry
+        lookup_id = registry.lookup(lookup(123))
+        assert lookup_id in first.workload.template_sizes()
+        assert lookup_id in second.workload.template_sizes()
+        assert registry.name_of(lookup_id) == "lookup"

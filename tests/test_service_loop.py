@@ -1,0 +1,370 @@
+"""End-to-end tests of the tuning session and the service loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SelectorOptions
+from repro.optimizer import WhatIfOptimizer
+from repro.physical import Configuration, Index
+from repro.queries import ColumnRef, QueryType
+from repro.service import (
+    EventLog,
+    ServiceConfig,
+    TuningSession,
+    read_events,
+    run_service,
+)
+from repro.workload import WorkloadGenerator
+from repro.workload.drift import change_point_workload, drifting_workload
+from repro.workload.generator import FilterSlot, QueryTemplate
+
+
+def _templates():
+    lookup = QueryTemplate(
+        name="lookup", qtype=QueryType.SELECT, tables=("orders",),
+        slots=(FilterSlot(ColumnRef("orders", "o_id"), "eq"),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+    datescan = QueryTemplate(
+        name="datescan", qtype=QueryType.SELECT, tables=("orders",),
+        slots=(FilterSlot(ColumnRef("orders", "o_date"), "range",
+                          min_frac=0.001, max_frac=0.01),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+    custscan = QueryTemplate(
+        name="custscan", qtype=QueryType.SELECT, tables=("orders",),
+        slots=(FilterSlot(ColumnRef("orders", "o_cust"), "eq"),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+    statusscan = QueryTemplate(
+        name="statusscan", qtype=QueryType.SELECT, tables=("orders",),
+        slots=(FilterSlot(ColumnRef("orders", "o_status"), "eq"),),
+        select_columns=(ColumnRef("orders", "o_total"),),
+    )
+    return lookup, datescan, custscan, statusscan
+
+
+@pytest.fixture
+def generator(small_schema):
+    lookup, datescan, _, _ = _templates()
+    return WorkloadGenerator(small_schema, [lookup, datescan])
+
+
+@pytest.fixture
+def generator4(small_schema):
+    """Two drifting templates plus two whose share stays constant —
+    the partial-drift regime warm starts are designed for."""
+    return WorkloadGenerator(small_schema, list(_templates()))
+
+
+@pytest.fixture
+def configs():
+    """Two candidates with a decisive winner per template mix."""
+    return [
+        Configuration([Index("orders", ("o_id",), ("o_total",))],
+                      name="for-lookups"),
+        Configuration([Index("orders", ("o_date",), ("o_total",))],
+                      name="for-datescans"),
+    ]
+
+
+OPTIONS = SelectorOptions(alpha=0.9, n_min=5, consecutive=3)
+
+
+class NearTieOptimizer:
+    """Counts calls; serves noisy near-tie costs for every config.
+
+    Deterministic per (query, configuration) within a run, so repeated
+    evaluations do not add information — ``Pr(CS)`` stays near chance
+    and a budgeted selection is forced to terminate on ``max_calls``.
+    """
+
+    def __init__(self, seed: int = 0, spread: float = 0.05) -> None:
+        self.calls = 0
+        self.spread = spread
+        self._rng = np.random.default_rng(seed)
+        self._cache = {}
+
+    def cost(self, query, config) -> float:
+        self.calls += 1
+        key = (id(query), id(config))
+        if key not in self._cache:
+            self._cache[key] = float(
+                100.0 * (1.0 + self._rng.normal(0.0, self.spread))
+            )
+        return self._cache[key]
+
+
+class TestTuningSession:
+    def test_first_retune_deploys_best(self, small_schema, generator,
+                                       configs, rng):
+        wl = drifting_workload(generator, 120, [1, 0.2], [1, 0.2], rng)
+        session = TuningSession(
+            configs, WhatIfOptimizer(small_schema), options=OPTIONS,
+            seed=1,
+        )
+        outcome = session.retune(wl, warm=True)
+        assert not outcome.warm          # nothing to carry yet
+        assert outcome.accepted
+        assert session.current_index == outcome.chosen_index
+        assert session.retune_count == 1
+        assert session.total_calls == outcome.optimizer_calls
+
+    def test_warm_retune_same_choice_fewer_calls(
+        self, small_schema, generator, configs, rng
+    ):
+        """Matched pair: two sessions, identical per-retune seeds, same
+        snapshots — the warm one must pick the same configuration while
+        spending strictly fewer optimizer calls."""
+        w1 = drifting_workload(generator, 120, [1, 0.2], [1, 0.2], rng)
+        w2 = w1.subset(range(w1.size))  # same window, second retune
+
+        def second_retune(warm: bool):
+            session = TuningSession(
+                configs, WhatIfOptimizer(small_schema),
+                options=OPTIONS, seed=7,
+            )
+            session.retune(w1, warm=False)
+            return session.retune(w2, warm=warm)
+
+        warm = second_retune(True)
+        cold = second_retune(False)
+        assert warm.warm and not cold.warm
+        assert warm.carried_samples > 0
+        assert warm.chosen_index == cold.chosen_index
+        assert warm.optimizer_calls < cold.optimizer_calls
+
+    def test_invalidated_templates_are_resampled(
+        self, small_schema, generator, configs, rng
+    ):
+        wl = drifting_workload(generator, 120, [1, 1], [1, 1], rng)
+        session = TuningSession(
+            configs, WhatIfOptimizer(small_schema), options=OPTIONS,
+            seed=3,
+        )
+        session.retune(wl, warm=False)
+        full_state = session.state
+        tid = int(wl.template_ids[0])
+        outcome = session.retune(
+            wl, warm=True, invalidate_templates={tid}
+        )
+        assert outcome.invalidated_templates == {tid}
+        assert tid not in full_state.drop_templates({tid}).template_ids()
+        # Something was still carried for the surviving template.
+        assert outcome.carried_samples > 0
+
+    def test_budget_exhausted_keeps_current_config(self, generator, rng):
+        """Graceful degradation: a budgeted retune that cannot reach
+        alpha keeps the deployed configuration and flags low
+        confidence."""
+        wl = drifting_workload(generator, 100, [1, 1], [1, 1], rng)
+        configs = [Configuration(name="a"), Configuration(name="b"),
+                   Configuration(name="c")]
+        session = TuningSession(
+            configs, NearTieOptimizer(),
+            options=SelectorOptions(alpha=0.95, n_min=3, consecutive=50),
+            seed=5,
+        )
+        first = session.retune(wl, warm=False)
+        # The first selection has nothing to fall back on: whatever it
+        # found is deployed even if under-sampled.
+        assert session.current_index == first.chosen_index
+
+        session.retune_budget = 10
+        deployed = session.current_index
+        outcome = session.retune(wl, warm=False)
+        assert outcome.low_confidence
+        assert not outcome.accepted
+        assert outcome.selection.terminated_by == "max_calls"
+        assert outcome.chosen_index == deployed
+        assert session.current_index == deployed
+
+    def test_state_restore_roundtrip(self, small_schema, generator,
+                                     configs, rng):
+        from repro.core import SelectorState
+
+        wl = drifting_workload(generator, 100, [1, 0.5], [1, 0.5], rng)
+        session = TuningSession(
+            configs, WhatIfOptimizer(small_schema), options=OPTIONS,
+            seed=2,
+        )
+        session.retune(wl, warm=False)
+        payload = session.state.to_dict()
+
+        fresh = TuningSession(
+            configs, WhatIfOptimizer(small_schema), options=OPTIONS,
+            seed=2,
+        )
+        fresh.restore_state(SelectorState.from_dict(payload))
+        outcome = fresh.retune(wl, warm=True)
+        assert outcome.warm
+        assert outcome.carried_samples > 0
+
+    def test_validation(self, configs):
+        with pytest.raises(ValueError):
+            TuningSession([], NearTieOptimizer())
+        with pytest.raises(ValueError):
+            TuningSession(configs, NearTieOptimizer(), retune_budget=0)
+
+
+class TestRunService:
+    def trace(self, generator, n=240, change_at=120, seed=0):
+        return change_point_workload(
+            generator, n, [1.0, 0.05], [0.05, 1.0], change_at,
+            np.random.default_rng(seed),
+        )
+
+    def service_config(self, **kw):
+        base = dict(
+            window_size=60, batch_size=20, reservoir_size=32,
+            drift_threshold=0.05, cooldown=40, min_window_fill=0.5,
+        )
+        base.update(kw)
+        return ServiceConfig(**base)
+
+    def test_detects_planted_drift_and_retunes(
+        self, small_schema, generator, configs, tmp_path
+    ):
+        trace = self.trace(generator)
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as events:
+            report = run_service(
+                trace, configs, WhatIfOptimizer(small_schema),
+                config=self.service_config(), options=OPTIONS,
+                events=events, rng=np.random.default_rng(0),
+            )
+        assert report.statements == trace.size
+        assert report.retune_count >= 2          # initial + drift
+        assert len(report.drift_retunes) >= 1
+        triggered = [
+            e for e in read_events(path)
+            if e["kind"] == "drift_check" and e["triggered"]
+        ]
+        assert triggered
+        assert all(e["position"] > 120 for e in triggered)
+
+        # The service must end on the configuration a from-scratch
+        # selection over the post-drift tail picks.
+        from repro.core import ConfigurationSelector
+        from repro.core.sources import OptimizerCostSource
+
+        tail = trace.subset(range(120, trace.size))
+        scratch = ConfigurationSelector(
+            OptimizerCostSource(
+                tail, configs, WhatIfOptimizer(small_schema)
+            ),
+            tail.template_ids, OPTIONS,
+            rng=np.random.default_rng(1),
+        ).run()
+        assert report.final_index == scratch.best_index
+
+    def test_event_log_is_valid_jsonl(
+        self, small_schema, generator, configs, tmp_path
+    ):
+        trace = self.trace(generator)
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as events:
+            run_service(
+                trace, configs, WhatIfOptimizer(small_schema),
+                config=self.service_config(), options=OPTIONS,
+                events=events, rng=np.random.default_rng(0),
+            )
+        events = read_events(path)
+        kinds = {e["kind"] for e in events}
+        assert {"service_start", "ingest", "drift_check",
+                "retune_start", "retune_end", "service_end"} <= kinds
+        assert events[0]["kind"] == "service_start"
+        assert events[-1]["kind"] == "service_end"
+
+    def test_warm_saves_calls_over_cold(
+        self, small_schema, generator4, configs
+    ):
+        """Same seed, same trace, warm on vs. off: drift retunes must
+        be cheaper warm, and both runs must agree on the final
+        configuration.
+
+        The mix shift here is frequency-only — template *shares* move
+        enough to trigger a retune, but no template's share moves past
+        the invalidation tolerance, so every carried cost sample stays
+        valid (a template's per-query cost distribution does not
+        depend on how often it runs).  This is the regime warm starts
+        are built for; wholesale mix replacement is covered by the
+        replay experiment."""
+        trace = change_point_workload(
+            generator4, 240,
+            [1.0, 0.6, 0.4, 0.4], [0.6, 1.0, 0.4, 0.4],
+            120, np.random.default_rng(0),
+        )
+
+        def run(warm: bool):
+            return run_service(
+                trace, configs, WhatIfOptimizer(small_schema),
+                config=self.service_config(
+                    warm=warm, drift_threshold=0.01,
+                    invalidate_rel_tol=0.6,
+                ),
+                options=OPTIONS,
+                rng=np.random.default_rng(42),
+            )
+
+        warm_report = run(True)
+        cold_report = run(False)
+        warm_drift = warm_report.drift_retunes
+        cold_drift = cold_report.drift_retunes
+        assert warm_drift and cold_drift
+        assert len(warm_drift) == len(cold_drift)
+        assert all(r.carried_samples > 0 for r in warm_drift)
+        assert sum(r.optimizer_calls for r in warm_drift) < sum(
+            r.optimizer_calls for r in cold_drift
+        )
+        assert warm_report.final_index == cold_report.final_index
+
+    def test_budget_degradation_emits_low_confidence(self, generator):
+        trace = self.trace(generator)
+        configs = [Configuration(name="a"), Configuration(name="b")]
+        events = EventLog()
+        report = run_service(
+            trace, configs, NearTieOptimizer(),
+            config=self.service_config(retune_budget=10),
+            options=SelectorOptions(alpha=0.95, n_min=3, consecutive=50),
+            events=events, rng=np.random.default_rng(0),
+        )
+        assert report.low_confidence_count >= 1
+        flagged = [
+            e for e in events.of_kind("retune_end")
+            if e["low_confidence"]
+        ]
+        assert flagged
+        # Drift retunes that degraded kept whatever was deployed at
+        # that moment (accepted retunes in between may move it).
+        deployed = report.retunes[0].chosen_index
+        for outcome in report.drift_retunes:
+            if outcome.low_confidence:
+                assert not outcome.accepted
+                assert outcome.chosen_index == deployed
+            else:
+                deployed = outcome.chosen_index
+
+    def test_short_trace_still_tunes_once(self, small_schema, generator,
+                                          configs):
+        trace = drifting_workload(
+            generator, 30, [1, 0.2], [1, 0.2],
+            np.random.default_rng(3),
+        )
+        report = run_service(
+            trace, configs, WhatIfOptimizer(small_schema),
+            config=self.service_config(window_size=100),
+            options=OPTIONS, rng=np.random.default_rng(0),
+        )
+        assert report.retune_count == 1
+        assert report.final_index is not None
+
+    def test_empty_trace_rejected(self, small_schema, configs):
+        from repro.workload.workload import Workload
+
+        with pytest.raises(ValueError):
+            run_service(
+                Workload([]), configs, WhatIfOptimizer(small_schema),
+            )

@@ -1,0 +1,158 @@
+"""Tests for drift scoring/triggering and the structured event log."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    DriftMonitor,
+    EventLog,
+    js_divergence,
+    read_events,
+)
+
+
+class TestJSDivergence:
+    def test_identical_mixes_are_zero(self):
+        assert js_divergence([3, 1, 6], [3, 1, 6]) == pytest.approx(0.0)
+        # Scale-invariant: only the normalized mix matters.
+        assert js_divergence([3, 1, 6], [30, 10, 60]) == pytest.approx(0.0)
+
+    def test_disjoint_supports_are_one(self):
+        assert js_divergence([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_symmetric_and_bounded(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            p = rng.random(5)
+            q = rng.random(5)
+            d = js_divergence(p, q)
+            assert 0.0 <= d <= 1.0
+            assert d == pytest.approx(js_divergence(q, p))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            js_divergence([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            js_divergence([1, -1], [1, 1])
+        with pytest.raises(ValueError):
+            js_divergence([0, 0], [1, 1])
+
+
+class TestDriftMonitor:
+    def test_no_reference_never_triggers(self):
+        monitor = DriftMonitor(threshold=0.01)
+        decision = monitor.check({0: 10}, position=100)
+        assert not decision.triggered
+        assert decision.reason == "no-reference"
+
+    def test_triggers_at_planted_change_point(self):
+        """Simulate the window mix sliding across an abrupt change
+        point: the monitor stays quiet before it and fires after."""
+        monitor = DriftMonitor(threshold=0.05, cooldown=0)
+        monitor.set_reference({0: 90, 1: 10})
+        window = 100
+        fired_at = None
+        for position in range(100, 400, 20):
+            # After the change point at 200 the window progressively
+            # fills with template 1.
+            new = max(0, min(window, position - 200))
+            mix = {0: 90 * (window - new) // window + 1,
+                   1: 10 * (window - new) // window + new}
+            decision = monitor.check(mix, position)
+            if decision.triggered and fired_at is None:
+                fired_at = position
+        assert fired_at is not None
+        assert fired_at >= 200
+        assert fired_at <= 300   # within one window of the change
+
+    def test_quiet_on_stable_mix(self):
+        monitor = DriftMonitor(threshold=0.05)
+        monitor.set_reference({0: 50, 1: 50})
+        for position in range(0, 1000, 50):
+            decision = monitor.check({0: 52, 1: 48}, position)
+            assert not decision.triggered
+            assert decision.reason == "below-threshold"
+
+    def test_cooldown_blocks_retrigger(self):
+        monitor = DriftMonitor(threshold=0.05, cooldown=100)
+        monitor.set_reference({0: 100})
+        drifted = {0: 10, 1: 90}
+        assert monitor.check(drifted, position=50).triggered
+        held = monitor.check(drifted, position=100)
+        assert not held.triggered
+        assert held.reason == "cooldown"
+        assert monitor.check(drifted, position=151).triggered
+
+    def test_window_filling_suppresses(self):
+        monitor = DriftMonitor(threshold=0.05, min_window_fill=0.5)
+        monitor.set_reference({0: 100})
+        decision = monitor.check({1: 10}, position=10, window_fill=0.1)
+        assert not decision.triggered
+        assert decision.reason == "window-filling"
+
+    def test_changed_templates_is_the_invalidation_set(self):
+        monitor = DriftMonitor()
+        monitor.set_reference({0: 50, 1: 40, 2: 10})
+        # Template 0 collapses, template 3 appears, 1 and 2 hold steady.
+        changed = monitor.changed_templates({0: 5, 1: 40, 2: 10, 3: 45})
+        assert 0 in changed
+        assert 3 in changed
+        assert 1 not in changed
+        assert 2 not in changed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftMonitor(cooldown=-1)
+        with pytest.raises(ValueError):
+            DriftMonitor(min_window_fill=1.5)
+        monitor = DriftMonitor()
+        with pytest.raises(RuntimeError):
+            monitor.score({0: 1})
+        with pytest.raises(ValueError):
+            monitor.set_reference({})
+
+
+class TestEventLog:
+    def test_in_memory_sequencing(self):
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", y=2)
+        log.emit("a", x=3)
+        assert len(log) == 3
+        kinds = [e["kind"] for e in log.events]
+        assert kinds == ["a", "b", "a"]
+        seqs = [e["seq"] for e in log.events]
+        assert seqs == sorted(seqs)
+        assert [e["x"] for e in log.of_kind("a")] == [1, 3]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("service_start", statements=10)
+            log.emit("retune_end", chosen_index=2)
+        events = read_events(path)
+        assert [e["kind"] for e in events] == [
+            "service_start", "retune_end",
+        ]
+        assert events[1]["chosen_index"] == 2
+
+    def test_read_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0, "kind": "ok"}\nnot json\n')
+        with pytest.raises(ValueError):
+            read_events(path)
+
+    def test_read_rejects_non_monotonic_seq(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"seq": 5, "kind": "a"}) + "\n"
+            + json.dumps({"seq": 5, "kind": "b"}) + "\n"
+        )
+        with pytest.raises(ValueError):
+            read_events(path)
