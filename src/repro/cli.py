@@ -102,7 +102,7 @@ def _cmd_compare(args) -> int:
     else:
         options = SelectorOptions(
             alpha=args.alpha, delta=args.delta, scheme=args.scheme,
-            stratify=args.stratify,
+            stratify=args.stratify, batch_rounds=args.batch_rounds,
         )
         result = ConfigurationSelector(
             source, workload.template_ids, options,
@@ -224,6 +224,7 @@ def _cmd_mc(args) -> int:
             progress=None if args.json else lambda done, total: print(
                 f"  matrix: {done}/{total} queries", file=sys.stderr
             ),
+            workers=args.workers,
         )
     budgets = [int(b) for b in args.budgets.split(",")]
     workers = resolve_workers(args.workers)
@@ -232,6 +233,7 @@ def _cmd_mc(args) -> int:
         curve = prcs_curve(
             matrix, workload.template_ids, spec, budgets,
             trials=args.trials, seed=args.seed, workers=workers,
+            batch_rounds=args.batch_rounds,
         )
 
     if args.json:
@@ -332,7 +334,7 @@ def _cmd_serve(args) -> int:
     )
     options = SelectorOptions(
         alpha=args.alpha, delta=args.delta, scheme=args.scheme,
-        n_min=args.n_min,
+        n_min=args.n_min, batch_rounds=args.batch_rounds,
     )
     with EventLog(args.events) as events:
         report = run_service(
@@ -431,6 +433,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--stratify",
                        choices=("progressive", "none", "fine"),
                        default="progressive")
+    p_cmp.add_argument("--batch-rounds", type=int, default=1,
+                       help="selector draw-ahead depth (1 = serial "
+                            "schedule, bit-identical to the historical "
+                            "loop; >= 2 batches allocation rounds)")
     p_cmp.add_argument("--tournament", action="store_true",
                        help="use the knockout-tournament strategy")
     p_cmp.add_argument("--verify", action="store_true",
@@ -476,6 +482,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--stratify",
                       choices=("progressive", "none", "fine"),
                       default="progressive")
+    p_mc.add_argument("--batch-rounds", type=int, default=1,
+                      help="selector draw-ahead depth on the "
+                           "progressive path (1 = serial schedule)")
     p_mc.add_argument("--json", action="store_true",
                       help="emit a JSON report (timings, cache stats)")
     p_mc.set_defaults(func=_cmd_mc)
@@ -515,6 +524,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--budget", type=int, default=None,
                        help="optimizer-call budget per retune "
                             "(default: unbudgeted)")
+    p_srv.add_argument("--batch-rounds", type=int, default=1,
+                       help="selector draw-ahead depth per retune "
+                            "(1 = serial schedule)")
     p_srv.add_argument("--cold", action="store_true",
                        help="disable warm starts (cold-retune baseline)")
     p_srv.add_argument("--events", default=None,

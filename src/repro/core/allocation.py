@@ -21,11 +21,17 @@ divided by the expected overhead of the stratum/configuration pair
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["variance_reduction", "pick_independent", "pick_delta_stratum"]
+__all__ = [
+    "variance_reduction",
+    "pick_independent",
+    "pick_delta_stratum",
+    "batch_multiplier",
+]
 
 
 def variance_reduction(
@@ -88,6 +94,37 @@ def pick_independent(
                 best_score = red
                 best = (config, h)
     return best
+
+
+def batch_multiplier(
+    prev: int,
+    batch_rounds: int,
+    growth: float,
+    tolerance: float,
+    calls_used: int,
+    round_calls: int,
+) -> int:
+    """How many allocation rounds to coalesce into the next batch.
+
+    The round-level draw-ahead plans ``m`` variance-greedy rounds at
+    once (one termination/elimination/split re-check per batch instead
+    of per round).  ``m`` grows geometrically from the previous batch
+    (``ceil(prev * growth)``), clamped by two bounds:
+
+    * ``batch_rounds`` — the configured hard cap (1 disables batching
+      and reproduces the serial schedule bit-identically);
+    * the re-check tolerance — the calls a batch spends beyond its
+      first, serially scheduled round (``(m - 1) * round_calls``) may
+      not exceed ``tolerance`` times the calls already spent, so even
+      when termination lands mid-batch the overshoot against the
+      serial schedule stays within tolerance.
+    """
+    if batch_rounds <= 1:
+        return 1
+    m = min(batch_rounds, int(math.ceil(prev * growth)))
+    if round_calls > 0:
+        m = min(m, 1 + int(tolerance * calls_used / round_calls))
+    return max(1, m)
 
 
 def pick_delta_stratum(

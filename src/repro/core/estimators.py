@@ -16,6 +16,22 @@ of every stratification (§5), so stratum-level statistics pool template
 accumulators and re-stratification costs nothing — matching the paper's
 claim that "all necessary counters and measurements can be maintained
 incrementally at constant cost".
+
+Pooled per-stratum moments are cached per (owner, stratum) and
+validated by the stratum's sample count — a count that did not change
+means no member template received a sample, so the cached pooled
+moments are exact.  Splits change the stratum key (the tuple of member
+templates), so only the affected strata repool; unchanged strata keep
+serving their cached entries.  Pairwise difference moments come in two
+flavors, selected by ``DeltaState(estimator=...)``:
+
+* ``"buffer"`` (exact): per-template moments are recomputed from the
+  aligned cost buffers, but only for templates whose aligned length
+  changed since last read — bit-identical to a full recomputation.
+* ``"welford"`` (incremental): per-template running Welford
+  accumulators advance over newly aligned draws in O(1) amortized per
+  sample; they agree with the buffer reduction to floating-point
+  accumulation order (~1e-12 relative).
 """
 
 from __future__ import annotations
@@ -123,6 +139,27 @@ class TemplateSampler:
         assert qidx is not None
         return qidx, tid
 
+    def draw_many(
+        self,
+        templates: Sequence[int],
+        rng: np.random.Generator,
+        n: int,
+    ) -> List[Tuple[int, int]]:
+        """Up to ``n`` consecutive stratum draws (the draw-ahead batch).
+
+        Consumes the generator exactly as ``n`` successive
+        :meth:`draw_from_stratum` calls would, so a draw-ahead schedule
+        is RNG-identical to the serial one.  Stops early when the
+        stratum runs dry; an exhausted attempt consumes no randomness.
+        """
+        out: List[Tuple[int, int]] = []
+        for _ in range(n):
+            drawn = self.draw_from_stratum(templates, rng)
+            if drawn is None:
+                break
+            out.append(drawn)
+        return out
+
 
 class MomentGrid:
     """Welford accumulators per (configuration, template).
@@ -162,11 +199,20 @@ class StratumStats:
         self.var = var      #: sample variance (s^2) per stratum
 
 
+#: Cached pooled stratum moments: ``(owner, stratum) -> (n_h, mean_h,
+#: M2_h)``.  ``n_h`` doubles as the validity stamp — per-template
+#: counts only grow, so an unchanged stratum count proves no member
+#: template moved and the cached floats are exactly what a repool
+#: would produce.
+_StratumMomentCache = Dict[Tuple, Tuple[int, float, float]]
+
+
 def _pool_templates(
     grid: MomentGrid,
     config: int,
     strat: Stratification,
     fallback_var: Optional[float] = None,
+    cache: Optional[_StratumMomentCache] = None,
 ) -> StratumStats:
     """Pool template accumulators into per-stratum statistics.
 
@@ -174,6 +220,10 @@ def _pool_templates(
     the exact within-stratum sum of squared deviations.  Strata with a
     single sample fall back to ``fallback_var`` (the configuration's
     overall sample variance) so they never report zero variance.
+
+    With a ``cache``, strata whose sample count is unchanged reuse
+    their pooled ``(mean, M2)`` instead of re-gathering — the hot path
+    of every evaluation round, where most strata received no draw.
     """
     L = strat.stratum_count
     n = np.zeros(L, dtype=np.int64)
@@ -195,7 +245,7 @@ def _pool_templates(
             fallback_var = 0.0
 
     for h, stratum in enumerate(strat.strata):
-        tids = np.fromiter(stratum, dtype=np.int64)
+        tids = strat.tid_arrays[h]
         c = counts[tids]
         n_h = int(c.sum())
         n[h] = n_h
@@ -203,15 +253,22 @@ def _pool_templates(
             mean[h] = np.nan
             var[h] = np.inf
             continue
-        m_h = float((c * means[tids]).sum() / n_h)
-        mean[h] = m_h
-        if n_h >= 2:
-            m2_h = float(
-                (m2s[tids] + c * (means[tids] - m_h) ** 2).sum()
-            )
-            var[h] = m2_h / (n_h - 1)
+        key = (config, stratum)
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None and hit[0] == n_h:
+            m_h, m2_h = hit[1], hit[2]
         else:
-            var[h] = fallback_var
+            m_h = float((c * means[tids]).sum() / n_h)
+            if n_h >= 2:
+                m2_h = float(
+                    (m2s[tids] + c * (means[tids] - m_h) ** 2).sum()
+                )
+            else:
+                m2_h = 0.0
+            if cache is not None:
+                cache[key] = (n_h, m_h, m2_h)
+        mean[h] = m_h
+        var[h] = m2_h / (n_h - 1) if n_h >= 2 else fallback_var
     return StratumStats(n, mean, var)
 
 
@@ -270,6 +327,11 @@ class IndependentState:
             TemplateSampler(indices_by_template, rng)
             for _ in range(n_configs)
         ]
+        self._stratum_cache: _StratumMomentCache = {}
+
+    def ingest(self, config: int, template: int, value: float) -> None:
+        """Fold one evaluated draw into the accumulators."""
+        self.grid.add(config, template, float(value))
 
     def sample_one(
         self,
@@ -289,7 +351,7 @@ class IndependentState:
         if drawn is None:
             return False
         qidx, tid = drawn
-        self.grid.add(config, tid, source.cost(qidx, config))
+        self.ingest(config, tid, source.cost(qidx, config))
         return True
 
     def sample_count(self, config: int) -> int:
@@ -300,7 +362,9 @@ class IndependentState:
         self, config: int, strat: Stratification
     ) -> StratumStats:
         """Pooled per-stratum statistics for one configuration."""
-        return _pool_templates(self.grid, config, strat)
+        return _pool_templates(
+            self.grid, config, strat, cache=self._stratum_cache
+        )
 
     def estimate(
         self, config: int, strat: Stratification
@@ -390,12 +454,36 @@ class _AlignedBuffers:
     def length(self, config: int, template: int) -> int:
         return len(self._values[config][template])
 
+    def raw(self, config: int, template: int) -> List[float]:
+        """The live buffer list (read-only use expected)."""
+        return self._values[config][template]
+
     def array(self, config: int, template: int,
               limit: Optional[int] = None) -> np.ndarray:
         vals = self._values[config][template]
         if limit is not None:
             vals = vals[:limit]
         return np.asarray(vals, dtype=np.float64)
+
+
+class _PairDiff:
+    """Per-template moments of one ordered pair's aligned cost diffs.
+
+    Owns dense ``(T,)`` count / mean / M2 arrays over the *canonical*
+    direction (``lo - hi`` with ``lo < hi``) plus the pooled per-
+    stratum cache.  :meth:`DeltaState._refresh_pair` advances the
+    arrays over newly aligned draws; consumers read them in place.
+    """
+
+    __slots__ = ("counts", "means", "m2s", "strata")
+
+    def __init__(self, n_templates: int) -> None:
+        self.counts = np.zeros(n_templates, dtype=np.int64)
+        self.means = np.zeros(n_templates, dtype=np.float64)
+        self.m2s = np.zeros(n_templates, dtype=np.float64)
+        #: ``stratum -> (n_h, mean_h, M2_h)`` pooled moments, validated
+        #: by the stratum's aligned sample count.
+        self.strata: _StratumMomentCache = {}
 
 
 class DeltaState:
@@ -405,6 +493,17 @@ class DeltaState:
     configurations.  Pairwise difference statistics are computed from
     aligned per-template buffers, so the estimator of ``X_{l,j}`` uses
     exactly the queries both configurations have evaluated.
+
+    Parameters
+    ----------
+    estimator:
+        ``"buffer"`` (default) recomputes a template's difference
+        moments from the aligned buffers whenever its aligned length
+        changed — exact, bit-identical to a full recomputation.
+        ``"welford"`` keeps running accumulators per (pair, template)
+        that fold each newly aligned draw in at O(1) — the batched
+        selector's mode, agreeing with the buffer reduction to
+        floating-point accumulation order.
     """
 
     def __init__(
@@ -413,7 +512,11 @@ class DeltaState:
         n_templates: int,
         indices_by_template: Dict[int, np.ndarray],
         rng: np.random.Generator,
+        estimator: str = "buffer",
     ) -> None:
+        if estimator not in ("buffer", "welford"):
+            raise ValueError(f"unknown estimator mode {estimator!r}")
+        self.estimator = estimator
         self.n_configs = n_configs
         self.n_templates = n_templates
         self.grid = MomentGrid(n_configs, n_templates)
@@ -423,6 +526,26 @@ class DeltaState:
         # statistics only need to visit these (a large workload may
         # have hundreds of templates, most untouched early on).
         self._touched: set = set()
+        self._pairs: Dict[Tuple[int, int], _PairDiff] = {}
+        self._stratum_cache: _StratumMomentCache = {}
+
+    def ingest(
+        self,
+        qidx: int,
+        tid: int,
+        active_configs: Sequence[int],
+        values: Sequence[float],
+    ) -> None:
+        """Fold one drawn query's per-config costs into the state.
+
+        ``values`` is aligned with ``active_configs``; the accumulator
+        update order matches the serial per-config loop exactly.
+        """
+        self._touched.add(tid)
+        for config, value in zip(active_configs, values):
+            v = float(value)
+            self.grid.add(config, tid, v)
+            self.buffers.append(config, tid, v)
 
     def sample_one(
         self,
@@ -439,11 +562,10 @@ class DeltaState:
         if drawn is None:
             return False
         qidx, tid = drawn
-        self._touched.add(tid)
-        for config in active_configs:
-            value = source.cost(qidx, config)
-            self.grid.add(config, tid, value)
-            self.buffers.append(config, tid, value)
+        self.ingest(
+            qidx, tid, active_configs,
+            [source.cost(qidx, c) for c in active_configs],
+        )
         return True
 
     def sample_count(self) -> int:
@@ -458,7 +580,10 @@ class DeltaState:
     ) -> Tuple[float, float]:
         """Stratified ``(X_i, Var(X_i))`` from the shared sample."""
         return _stratified_estimate(
-            _pool_templates(self.grid, config, strat), strat
+            _pool_templates(
+                self.grid, config, strat, cache=self._stratum_cache
+            ),
+            strat,
         )
 
     # ------------------------------------------------------------------
@@ -521,27 +646,107 @@ class DeltaState:
     # ------------------------------------------------------------------
     # pairwise difference statistics
     # ------------------------------------------------------------------
+    def _pair(self, l: int, j: int) -> Tuple[_PairDiff, float]:
+        """The refreshed canonical accumulator and the sign of
+        ``l - j`` relative to it."""
+        lo, hi = (l, j) if l < j else (j, l)
+        pd = self._pairs.get((lo, hi))
+        if pd is None:
+            pd = _PairDiff(self.n_templates)
+            self._pairs[(lo, hi)] = pd
+        self._refresh_pair(pd, lo, hi)
+        return pd, (1.0 if l == lo else -1.0)
+
+    def _refresh_pair(self, pd: _PairDiff, lo: int, hi: int) -> None:
+        """Catch the pair's template moments up to the aligned prefix.
+
+        Only templates whose aligned length grew since the last read
+        are revisited; in ``"buffer"`` mode those templates recompute
+        from the buffers (exact), in ``"welford"`` mode the running
+        accumulators fold in just the new aligned draws.
+        """
+        counts, means, m2s = pd.counts, pd.means, pd.m2s
+        welford = self.estimator == "welford"
+        for t in self._touched:
+            m = min(self.buffers.length(lo, t), self.buffers.length(hi, t))
+            if m == counts[t]:
+                continue
+            if welford:
+                lo_vals = self.buffers.raw(lo, t)
+                hi_vals = self.buffers.raw(hi, t)
+                n = int(counts[t])
+                mean = float(means[t])
+                m2 = float(m2s[t])
+                for i in range(n, m):
+                    d = lo_vals[i] - hi_vals[i]
+                    n += 1
+                    delta = d - mean
+                    mean += delta / n
+                    m2 += delta * (d - mean)
+                counts[t] = n
+                means[t] = mean
+                m2s[t] = m2
+            else:
+                diff = (
+                    self.buffers.array(lo, t, m)
+                    - self.buffers.array(hi, t, m)
+                )
+                counts[t] = m
+                mu = diff.mean()
+                means[t] = float(mu)
+                m2s[t] = (
+                    float(((diff - mu) ** 2).sum()) if m >= 2 else 0.0
+                )
+
     def diff_template_moments(
         self, l: int, j: int
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-template ``(count, mean, M2)`` of ``Cost(q,C_l)-Cost(q,C_j)``.
 
         Uses the aligned prefix both configurations have evaluated.
+        The returned arrays are maintained incrementally and shared
+        with the state — treat them as read-only.
         """
-        T = self.n_templates
-        counts = np.zeros(T, dtype=np.int64)
-        means = np.zeros(T, dtype=np.float64)
-        m2s = np.zeros(T, dtype=np.float64)
-        for t in self._touched:
-            m = min(self.buffers.length(l, t), self.buffers.length(j, t))
-            if m == 0:
+        pd, sign = self._pair(l, j)
+        if sign < 0:
+            return pd.counts, -pd.means, pd.m2s
+        return pd.counts, pd.means, pd.m2s
+
+    def pair_stratum_moments(
+        self, l: int, j: int, strat: Stratification
+    ) -> List[Tuple[int, float, float]]:
+        """Cached pooled ``(n_h, mean_h, M2_h)`` of the pair per stratum.
+
+        ``mean_h`` follows the ``l - j`` direction; ``M2_h`` is
+        direction-free.  Pooled entries are reused while the stratum's
+        aligned sample count is unchanged, so evaluation rounds cost
+        O(1) per untouched (stratum, pair); a split changes the
+        stratum key and rebuilds only the two new strata.
+        """
+        pd, sign = self._pair(l, j)
+        counts, means, m2s = pd.counts, pd.means, pd.m2s
+        out: List[Tuple[int, float, float]] = []
+        for h, stratum in enumerate(strat.strata):
+            tids = strat.tid_arrays[h]
+            c = counts[tids]
+            n_h = int(c.sum())
+            if n_h == 0:
+                out.append((0, 0.0, 0.0))
                 continue
-            diff = self.buffers.array(l, t, m) - self.buffers.array(j, t, m)
-            counts[t] = m
-            means[t] = float(diff.mean())
-            if m >= 2:
-                m2s[t] = float(((diff - diff.mean()) ** 2).sum())
-        return counts, means, m2s
+            hit = pd.strata.get(stratum)
+            if hit is not None and hit[0] == n_h:
+                m_h, m2_h = hit[1], hit[2]
+            else:
+                m_h = float((c * means[tids]).sum() / n_h)
+                if n_h >= 2:
+                    m2_h = float(
+                        (m2s[tids] + c * (means[tids] - m_h) ** 2).sum()
+                    )
+                else:
+                    m2_h = 0.0
+                pd.strata[stratum] = (n_h, m_h, m2_h)
+            out.append((n_h, sign * m_h, m2_h))
+        return out
 
     def pair_estimate(
         self, l: int, j: int, strat: Stratification
@@ -551,11 +756,11 @@ class DeltaState:
         ``X_{l,j}`` estimates ``Cost(WL,C_l) - Cost(WL,C_j)``; negative
         means ``C_l`` looks better.
         """
-        counts, means, m2s = self.diff_template_moments(l, j)
-        # Pool templates into strata, mirroring _pool_templates but on
-        # the difference moments.
-        L = strat.stratum_count
-        sizes = strat.sizes.astype(np.float64)
+        pd, sign = self._pair(l, j)
+        counts, means, m2s = pd.counts, pd.means, pd.m2s
+        # The overall (fallback) variance of the differences pools all
+        # templates; it is sign-invariant, so the canonical direction
+        # serves both orientations.
         total_n = int(counts.sum())
         if total_n >= 2:
             overall = float((counts * means).sum() / total_n)
@@ -564,25 +769,19 @@ class DeltaState:
             ) / (total_n - 1)
         else:
             fallback_var = 0.0
+        sizes = strat.sizes.astype(np.float64)
         estimate = 0.0
         variance = 0.0
         observed_means = []
         observed_sizes = []
         per_stratum = []
-        for h, stratum in enumerate(strat.strata):
-            tids = np.fromiter(stratum, dtype=np.int64)
-            c = counts[tids]
-            n_h = int(c.sum())
+        for h, (n_h, m_h, m2_h) in enumerate(
+            self.pair_stratum_moments(l, j, strat)
+        ):
             if n_h == 0:
                 per_stratum.append((h, None, None))
                 continue
-            m_h = float((c * means[tids]).sum() / n_h)
-            if n_h >= 2:
-                s2_h = float(
-                    (m2s[tids] + c * (means[tids] - m_h) ** 2).sum()
-                ) / (n_h - 1)
-            else:
-                s2_h = fallback_var
+            s2_h = m2_h / (n_h - 1) if n_h >= 2 else fallback_var
             observed_means.append(m_h)
             observed_sizes.append(sizes[h])
             per_stratum.append((h, m_h, (n_h, s2_h)))

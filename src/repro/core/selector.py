@@ -29,12 +29,17 @@ configuration; one Independent-Sampling draw costs one call.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .allocation import pick_delta_stratum, variance_reduction
+from .allocation import (
+    batch_multiplier,
+    pick_delta_stratum,
+    variance_reduction,
+)
 from .estimators import DeltaState, IndependentState
 from .prcs import (
     bonferroni,
@@ -52,6 +57,18 @@ __all__ = [
     "SelectorState",
     "ConfigurationSelector",
 ]
+
+
+class _NullTimer:
+    """No-op stand-in for :class:`repro.experiments.profiling.PhaseTimer`.
+
+    The selector times its round phases (plan/draw/cost/ingest/
+    evaluate) through whatever object with a ``phase(name)`` context
+    manager it is given; without one, timing costs nothing.
+    """
+
+    def phase(self, name: str):
+        return nullcontext()
 
 
 @dataclass
@@ -235,6 +252,29 @@ class SelectorOptions:
         stale allocation for speed in Monte Carlo runs).
     split_check_every:
         How often (in draws) Algorithm 2 is consulted.
+    batch_rounds:
+        Maximum number of variance-greedy allocation rounds coalesced
+        into one draw-ahead batch (drawn, costed via
+        ``CostSource.cost_many`` and ingested together, with a single
+        termination/elimination/split re-check per batch).  ``1`` (the
+        default) disables coalescing and is bit-identical to the
+        serial schedule under a fixed seed.
+    batch_growth:
+        Geometric growth factor of the batch size: each batch plans up
+        to ``ceil(previous * batch_growth)`` rounds (clamped by
+        ``batch_rounds`` and the call tolerance).  Must be >= 1.
+    batch_call_tolerance:
+        Bound on the optimizer calls batching may spend beyond the
+        serial schedule: a batch's rounds past its first may cost at
+        most this fraction of the calls already spent, so PRCS is
+        re-checked often enough that termination overshoot stays
+        within tolerance.
+    estimator:
+        Pairwise difference estimator mode for Delta Sampling:
+        ``"buffer"`` (exact aligned-buffer reductions), ``"welford"``
+        (incremental accumulators, O(1) per ingested sample), or
+        ``"auto"`` (default — ``"buffer"`` when ``batch_rounds == 1``
+        so serial runs stay bit-identical, ``"welford"`` otherwise).
     """
 
     alpha: float = 0.9
@@ -248,6 +288,10 @@ class SelectorOptions:
     max_calls: Optional[int] = None
     reeval_every: int = 1
     split_check_every: int = 1
+    batch_rounds: int = 1
+    batch_growth: float = 2.0
+    batch_call_tolerance: float = 0.05
+    estimator: str = "auto"
 
     def __post_init__(self) -> None:
         if not (0.0 < self.alpha < 1.0):
@@ -268,6 +312,23 @@ class SelectorOptions:
             raise ValueError(
                 f"split_check_every must be >= 1, got "
                 f"{self.split_check_every}"
+            )
+        if self.batch_rounds < 1:
+            raise ValueError(
+                f"batch_rounds must be >= 1, got {self.batch_rounds}"
+            )
+        if not self.batch_growth >= 1.0:
+            raise ValueError(
+                f"batch_growth must be >= 1, got {self.batch_growth}"
+            )
+        if not self.batch_call_tolerance >= 0.0:
+            raise ValueError(
+                f"batch_call_tolerance must be >= 0, got "
+                f"{self.batch_call_tolerance}"
+            )
+        if self.estimator not in ("auto", "buffer", "welford"):
+            raise ValueError(
+                f"unknown estimator mode {self.estimator!r}"
             )
 
 
@@ -334,6 +395,12 @@ class ConfigurationSelector:
         estimators before any sampling, so templates whose state is
         carried forward need few (often zero) fresh optimizer calls.
         The scheme and configuration count must match.
+    timer:
+        Optional :class:`repro.experiments.profiling.PhaseTimer` (any
+        object with a ``phase(name)`` context manager): rounds are
+        instrumented as ``plan`` (allocation), ``draw`` (RNG draws),
+        ``cost`` (cost-source evaluation), ``ingest`` (accumulator
+        updates) and ``evaluate`` (estimates + PRCS).
     """
 
     def __init__(
@@ -344,9 +411,12 @@ class ConfigurationSelector:
         rng: Optional[np.random.Generator] = None,
         template_overheads: Optional[np.ndarray] = None,
         warm_state: Optional[SelectorState] = None,
+        timer=None,
     ) -> None:
         self.source = source
         self.options = options
+        self._timer = timer if timer is not None else _NullTimer()
+        self._round_mult = 1
         if warm_state is not None:
             if warm_state.scheme != options.scheme:
                 raise ValueError(
@@ -528,6 +598,56 @@ class ConfigurationSelector:
             or calls < self.options.max_calls
         )
 
+    def _estimator_mode(self) -> str:
+        """Resolve the pairwise-estimator mode (``"auto"`` dispatch)."""
+        if self.options.estimator != "auto":
+            return self.options.estimator
+        return "buffer" if self.options.batch_rounds == 1 else "welford"
+
+    def _chunk_allowance(self, pending: int, per_draw: int) -> int:
+        """Draws affordable right now under the serial budget check.
+
+        Serially the budget is re-checked before every draw; a draw is
+        allowed while spent calls stay strictly below ``max_calls``.
+        With at most ``per_draw`` calls per draw, the next
+        ``ceil(left / per_draw)`` draws are each serially allowed, so
+        they can be drawn ahead and costed in one batch; callers loop,
+        re-reading the true call counter between chunks, until
+        ``pending`` is used up or the budget binds — reproducing the
+        serial truncation point exactly even when cache hits make
+        draws cheaper than ``per_draw``.
+        """
+        if self.options.max_calls is None:
+            return pending
+        left = self.options.max_calls - (
+            self.source.calls - self._start_calls
+        )
+        if left <= 0:
+            return 0
+        return min(pending, -(-left // per_draw))
+
+    def _next_batch_rounds(self, calls_used: int, round_calls: int,
+                           consec: int) -> int:
+        """Allocation rounds to coalesce into the next draw-ahead batch.
+
+        Once the termination condition starts holding (``consec > 0``)
+        the schedule drops back to serial so the consecutive-round
+        confirmation tail costs exactly what it costs serially.
+        """
+        if consec > 0:
+            self._round_mult = 1
+            return 1
+        mult = batch_multiplier(
+            self._round_mult,
+            self.options.batch_rounds,
+            self.options.batch_growth,
+            self.options.batch_call_tolerance,
+            calls_used,
+            round_calls,
+        )
+        self._round_mult = mult
+        return mult
+
     # ------------------------------------------------------------------
     # Delta Sampling driver
     # ------------------------------------------------------------------
@@ -535,9 +655,11 @@ class ConfigurationSelector:
         opts = self.options
         k = self.source.n_configs
         state = DeltaState(
-            k, self.n_templates, self.indices_by_template, self.rng
+            k, self.n_templates, self.indices_by_template, self.rng,
+            estimator=self._estimator_mode(),
         )
         self._delta_state = state
+        self._round_mult = 1
         if self.warm_state is not None:
             self.carried_samples = state.import_samples(
                 self.warm_state.values
@@ -567,34 +689,35 @@ class ConfigurationSelector:
 
         while True:
             # --- evaluate ---
-            totals = np.array(
-                [state.estimate_total(c, strat)[0] for c in range(k)]
-            )
-            best = int(np.argmin(np.where(np.isfinite(totals), totals,
-                                          np.inf)))
-            round_key = (best, strat_version)
-            if round_key != cache_key:
-                pair_cache = {}
-                cache_key = round_key
-            active_set = set(active)
-            pair_stats: Dict[int, Tuple[float, float]] = {}
-            pairwise: List[float] = []
-            for j in range(k):
-                if j == best:
-                    continue
-                if j not in active_set and j in pair_cache:
-                    mean_diff, var_diff = pair_cache[j]
-                else:
-                    mean_diff, var_diff = state.pair_estimate(
-                        best, j, strat
-                    )
-                    if j not in active_set:
-                        pair_cache[j] = (mean_diff, var_diff)
-                pair_stats[j] = (mean_diff, var_diff)
-                pairwise.append(
-                    pairwise_prcs(-mean_diff, var_diff, opts.delta)
+            with self._timer.phase("evaluate"):
+                totals = np.array(
+                    [state.estimate_total(c, strat)[0] for c in range(k)]
                 )
-            prcs = bonferroni(pairwise) if pairwise else 1.0
+                best = int(np.argmin(np.where(np.isfinite(totals), totals,
+                                              np.inf)))
+                round_key = (best, strat_version)
+                if round_key != cache_key:
+                    pair_cache = {}
+                    cache_key = round_key
+                active_set = set(active)
+                pair_stats: Dict[int, Tuple[float, float]] = {}
+                pairwise: List[float] = []
+                for j in range(k):
+                    if j == best:
+                        continue
+                    if j not in active_set and j in pair_cache:
+                        mean_diff, var_diff = pair_cache[j]
+                    else:
+                        mean_diff, var_diff = state.pair_estimate(
+                            best, j, strat
+                        )
+                        if j not in active_set:
+                            pair_cache[j] = (mean_diff, var_diff)
+                    pair_stats[j] = (mean_diff, var_diff)
+                    pairwise.append(
+                        pairwise_prcs(-mean_diff, var_diff, opts.delta)
+                    )
+                prcs = bonferroni(pairwise) if pairwise else 1.0
             history.append((calls_used(), prcs))
 
             # --- terminate? ---
@@ -628,15 +751,22 @@ class ConfigurationSelector:
 
             # --- progressive stratification (Algorithm 2) ---
             if opts.stratify == "progressive":
-                new_strat = self._delta_split(
-                    state, strat, best, pair_stats, len(active)
-                )
+                with self._timer.phase("split"):
+                    new_strat = self._delta_split(
+                        state, strat, best, pair_stats, len(active)
+                    )
                 if new_strat is not strat:
                     strat = new_strat
                     strat_version += 1
 
             # --- draw the next batch of samples ---
-            if not self._delta_draw(state, strat, best, pair_stats, active):
+            rounds = self._next_batch_rounds(
+                calls_used(),
+                max(1, opts.reeval_every) * max(1, len(active)),
+                consec,
+            )
+            if not self._delta_draw(state, strat, best, pair_stats, active,
+                                    rounds):
                 # Workload exhausted: estimates are now exact.
                 terminated_by = "exhausted"
                 totals = np.array(
@@ -673,8 +803,12 @@ class ConfigurationSelector:
         """Fill every stratum to ``n_min`` shared samples (or exhaust).
 
         Carried warm-start samples count toward the target, so a
-        well-carried stratum costs the pilot nothing.
+        well-carried stratum costs the pilot nothing.  Each stratum's
+        deficit is drawn ahead and costed in one ``cost_many`` batch
+        (chunked only where the call budget may bind).
         """
+        active = list(active)
+        per_draw = max(1, len(active))
         for stratum in strat.strata:
             drawn = sum(state.sampler.drawn(t) for t in stratum)
             target = min(
@@ -682,15 +816,47 @@ class ConfigurationSelector:
                 sum(self.template_sizes[t] for t in stratum),
             )
             while drawn < target:
-                if not self._budget_left(
-                    self.source.calls - self._start_calls
-                ):
+                chunk = self._chunk_allowance(target - drawn, per_draw)
+                if chunk <= 0:
                     return
-                if not state.sample_one(
-                    stratum, self.source, self.rng, active
-                ):
+                with self._timer.phase("draw"):
+                    draws = state.sampler.draw_many(
+                        stratum, self.rng, chunk
+                    )
+                if draws:
+                    self._delta_ingest(state, draws, active)
+                    drawn += len(draws)
+                if len(draws) < chunk:
                     break
-                drawn += 1
+
+    def _delta_ingest(
+        self,
+        state: DeltaState,
+        draws: Sequence[Tuple[int, int]],
+        active: Sequence[int],
+    ) -> None:
+        """Cost a draw-ahead batch in one call and fold it in.
+
+        Pairs are laid out query-major (every active configuration of
+        a draw back to back), so ingestion replays the serial
+        accumulator-update order exactly.
+        """
+        k_a = len(active)
+        qs = np.fromiter(
+            (q for q, _t in draws), dtype=np.int64, count=len(draws)
+        )
+        pairs = np.empty((len(draws) * k_a, 2), dtype=np.int64)
+        pairs[:, 0] = np.repeat(qs, k_a)
+        pairs[:, 1] = np.tile(
+            np.asarray(active, dtype=np.int64), len(draws)
+        )
+        with self._timer.phase("cost"):
+            values = self.source.cost_many(pairs)
+        with self._timer.phase("ingest"):
+            for d, (qidx, tid) in enumerate(draws):
+                state.ingest(
+                    qidx, tid, active, values[d * k_a:(d + 1) * k_a]
+                )
 
     def _delta_split(
         self,
@@ -758,53 +924,92 @@ class ConfigurationSelector:
         best: int,
         pair_stats: Dict[int, Tuple[float, float]],
         active: Sequence[int],
+        rounds: int = 1,
     ) -> bool:
-        """Pick the stratum per §5.2 and draw one shared sample."""
-        sizes = strat.sizes
-        counts = np.zeros(strat.stratum_count, dtype=np.int64)
-        exhausted = np.zeros(strat.stratum_count, dtype=bool)
-        for h, stratum in enumerate(strat.strata):
-            counts[h] = sum(state.sampler.drawn(t) for t in stratum)
-            exhausted[h] = state.sampler.remaining_in(stratum) == 0
-        if exhausted.all():
-            return False
-        # Per-pair per-stratum variances for the variance-sum heuristic.
-        pair_vars = []
-        for j in pair_stats:
-            t_counts, t_means, t_m2s = state.diff_template_moments(best, j)
-            vars_h = np.zeros(strat.stratum_count)
+        """Plan up to ``rounds`` §5.2 stratum picks ahead, then draw.
+
+        Each planned round re-runs the variance-greedy stratum choice
+        against the simulated (post-draw) counts, so a batch follows
+        the same allocation trajectory the serial schedule would; the
+        whole plan is then drawn, costed via ``cost_many`` and
+        ingested.  ``rounds=1`` reproduces the serial behavior
+        bit-identically (one pick, up to ``reeval_every`` draws, the
+        serial budget-truncation arithmetic).
+        """
+        with self._timer.phase("plan"):
+            sizes = strat.sizes
+            L = strat.stratum_count
+            counts = np.zeros(L, dtype=np.int64)
+            remaining = np.zeros(L, dtype=np.int64)
             for h, stratum in enumerate(strat.strata):
-                tids = np.fromiter(stratum, dtype=np.int64)
-                c = t_counts[tids]
-                n_h = int(c.sum())
-                if n_h >= 2:
-                    m_h = float((c * t_means[tids]).sum() / n_h)
-                    vars_h[h] = float(
-                        (t_m2s[tids] + c * (t_means[tids] - m_h) ** 2).sum()
-                    ) / (n_h - 1)
-            pair_vars.append(vars_h)
-        if pair_vars:
-            pick = pick_delta_stratum(
-                sizes, pair_vars, counts, exhausted,
-                overheads=self._stratum_overheads(strat),
-            )
-        else:
-            pick = int(np.argmax(np.where(exhausted, -1, sizes)))
-        if pick is None:
-            return False
-        # Draw up to reeval_every samples from the chosen stratum before
-        # re-evaluating (reeval_every=1 reproduces the paper exactly).
+                counts[h] = sum(state.sampler.drawn(t) for t in stratum)
+                remaining[h] = state.sampler.remaining_in(stratum)
+            exhausted = remaining == 0
+            if exhausted.all():
+                return False
+            # Per-pair per-stratum variances for the variance-sum
+            # heuristic (pooled moments are cached inside the state).
+            pair_vars = []
+            for j in pair_stats:
+                vars_h = np.zeros(L)
+                for h, (n_h, _m_h, m2_h) in enumerate(
+                    state.pair_stratum_moments(best, j, strat)
+                ):
+                    if n_h >= 2:
+                        vars_h[h] = m2_h / (n_h - 1)
+                pair_vars.append(vars_h)
+            overheads = self._stratum_overheads(strat)
+            per_round = max(1, self.options.reeval_every)
+            plan: List[Tuple[int, int]] = []
+            for _ in range(max(1, rounds)):
+                if exhausted.all():
+                    break
+                if pair_vars:
+                    pick = pick_delta_stratum(
+                        sizes, pair_vars, counts, exhausted,
+                        overheads=overheads,
+                    )
+                else:
+                    pick = int(np.argmax(np.where(exhausted, -1, sizes)))
+                if pick is None:
+                    break
+                n = int(min(per_round, remaining[pick]))
+                if n <= 0:
+                    exhausted[pick] = True
+                    continue
+                if plan and plan[-1][0] == pick:
+                    plan[-1] = (pick, plan[-1][1] + n)
+                else:
+                    plan.append((pick, n))
+                counts[pick] += n
+                remaining[pick] -= n
+                if remaining[pick] == 0:
+                    exhausted[pick] = True
+        # Draw/cost/ingest the plan, chunked where the budget may bind.
+        active = list(active)
+        per_draw = max(1, len(active))
         drew_any = False
-        for _ in range(max(1, self.options.reeval_every)):
-            if drew_any and not self._budget_left(
-                self.source.calls - self._start_calls
-            ):
-                break
-            if not state.sample_one(
-                strat.strata[pick], self.source, self.rng, list(active)
-            ):
-                break
-            drew_any = True
+        for pick, n in plan:
+            stratum = strat.strata[pick]
+            pending = n
+            while pending > 0:
+                chunk = self._chunk_allowance(pending, per_draw)
+                if chunk <= 0 and not drew_any:
+                    # Serially, the round's first draw skips the budget
+                    # check (possible after a split's pilot spent it).
+                    chunk = 1
+                if chunk <= 0:
+                    return drew_any
+                with self._timer.phase("draw"):
+                    draws = state.sampler.draw_many(
+                        stratum, self.rng, chunk
+                    )
+                if draws:
+                    self._delta_ingest(state, draws, active)
+                    drew_any = True
+                    pending -= len(draws)
+                if len(draws) < chunk:
+                    break
         return drew_any
 
     # ------------------------------------------------------------------
@@ -817,6 +1022,7 @@ class ConfigurationSelector:
             k, self.n_templates, self.indices_by_template, self.rng
         )
         self._independent_state = state
+        self._round_mult = 1
         if self.warm_state is not None:
             self.carried_samples = state.import_moments(
                 self.warm_state.moments
@@ -840,21 +1046,22 @@ class ConfigurationSelector:
 
         last_sampled: Optional[int] = None
         while True:
-            ests = [state.estimate(c, strats[c]) for c in range(k)]
-            totals = np.array([e[0] for e in ests])
-            variances = np.array([e[1] for e in ests])
-            best = int(np.argmin(np.where(np.isfinite(totals), totals,
-                                          np.inf)))
-            pairwise = []
-            pair_stats: Dict[int, Tuple[float, float]] = {}
-            for j in range(k):
-                if j == best:
-                    continue
-                gap = float(totals[j] - totals[best])
-                var = float(variances[j] + variances[best])
-                pair_stats[j] = (-gap, var)
-                pairwise.append(pairwise_prcs(gap, var, opts.delta))
-            prcs = bonferroni(pairwise) if pairwise else 1.0
+            with self._timer.phase("evaluate"):
+                ests = [state.estimate(c, strats[c]) for c in range(k)]
+                totals = np.array([e[0] for e in ests])
+                variances = np.array([e[1] for e in ests])
+                best = int(np.argmin(np.where(np.isfinite(totals), totals,
+                                              np.inf)))
+                pairwise = []
+                pair_stats: Dict[int, Tuple[float, float]] = {}
+                for j in range(k):
+                    if j == best:
+                        continue
+                    gap = float(totals[j] - totals[best])
+                    var = float(variances[j] + variances[best])
+                    pair_stats[j] = (-gap, var)
+                    pairwise.append(pairwise_prcs(gap, var, opts.delta))
+                prcs = bonferroni(pairwise) if pairwise else 1.0
             history.append((calls_used(), prcs))
 
             if prcs > opts.alpha:
@@ -887,33 +1094,72 @@ class ConfigurationSelector:
             # Progressive stratification for the last-sampled config.
             if opts.stratify == "progressive" and last_sampled is not None \
                     and last_sampled in active:
-                strats[last_sampled] = self._independent_split(
-                    state, strats[last_sampled], last_sampled,
-                    pair_stats, len(active),
-                )
+                with self._timer.phase("split"):
+                    strats[last_sampled] = self._independent_split(
+                        state, strats[last_sampled], last_sampled,
+                        pair_stats, len(active),
+                    )
 
-            pick = self._independent_pick(state, strats, active)
-            if pick is None:
+            # Plan up to `rounds` greedy (configuration, stratum) picks
+            # ahead; pending draws feed back into the scores so the
+            # batch follows the serial allocation trajectory.
+            rounds = self._next_batch_rounds(
+                calls_used(), max(1, opts.reeval_every), consec
+            )
+            per_round = max(1, opts.reeval_every)
+            with self._timer.phase("plan"):
+                plan: List[Tuple[int, int, int]] = []
+                pending: Dict[Tuple[int, int], int] = {}
+                for _ in range(max(1, rounds)):
+                    pick = self._independent_pick(
+                        state, strats, active, pending
+                    )
+                    if pick is None:
+                        break
+                    config, stratum_idx = pick
+                    already = pending.get((config, stratum_idx), 0)
+                    avail = state.samplers[config].remaining_in(
+                        strats[config].strata[stratum_idx]
+                    ) - already
+                    n = int(min(per_round, avail))
+                    if n <= 0:
+                        break
+                    plan.append((config, stratum_idx, n))
+                    pending[(config, stratum_idx)] = already + n
+            if not plan:
                 terminated_by = "exhausted"
                 prcs = 1.0
                 break
-            config, stratum_idx = pick
             drew_any = False
-            for _ in range(max(1, self.options.reeval_every)):
-                if drew_any and not self._budget_left(
-                    self.source.calls - self._start_calls
-                ):
+            budget_bound = False
+            for config, stratum_idx, n in plan:
+                stratum = strats[config].strata[stratum_idx]
+                remaining = n
+                while remaining > 0:
+                    chunk = self._chunk_allowance(remaining, 1)
+                    if chunk <= 0 and not drew_any:
+                        # Serially, the round's first draw skips the
+                        # budget check (possible after a split pilot).
+                        chunk = 1
+                    if chunk <= 0:
+                        budget_bound = True
+                        break
+                    with self._timer.phase("draw"):
+                        draws = state.samplers[config].draw_many(
+                            stratum, self.rng, chunk
+                        )
+                    if draws:
+                        self._independent_ingest(state, config, draws)
+                        drew_any = True
+                        last_sampled = config
+                        remaining -= len(draws)
+                    if len(draws) < chunk:
+                        break
+                if budget_bound:
                     break
-                if not state.sample_one(
-                    config, strats[config].strata[stratum_idx],
-                    self.source, self.rng,
-                ):
-                    break
-                drew_any = True
             if not drew_any:
                 # Raced into exhaustion; try again next round.
                 continue
-            last_sampled = config
 
         ests = [state.estimate(c, strats[c]) for c in range(k)]
         totals = np.array([e[0] for e in ests])
@@ -948,15 +1194,36 @@ class ConfigurationSelector:
                 sum(self.template_sizes[t] for t in stratum),
             )
             while drawn < target:
-                if not self._budget_left(
-                    self.source.calls - self._start_calls
-                ):
+                chunk = self._chunk_allowance(target - drawn, 1)
+                if chunk <= 0:
                     return
-                if not state.sample_one(
-                    config, stratum, self.source, self.rng
-                ):
+                with self._timer.phase("draw"):
+                    draws = state.samplers[config].draw_many(
+                        stratum, self.rng, chunk
+                    )
+                if draws:
+                    self._independent_ingest(state, config, draws)
+                    drawn += len(draws)
+                if len(draws) < chunk:
                     break
-                drawn += 1
+
+    def _independent_ingest(
+        self,
+        state: IndependentState,
+        config: int,
+        draws: Sequence[Tuple[int, int]],
+    ) -> None:
+        """Cost one configuration's draw-ahead batch and fold it in."""
+        pairs = np.empty((len(draws), 2), dtype=np.int64)
+        pairs[:, 0] = np.fromiter(
+            (q for q, _t in draws), dtype=np.int64, count=len(draws)
+        )
+        pairs[:, 1] = config
+        with self._timer.phase("cost"):
+            values = self.source.cost_many(pairs)
+        with self._timer.phase("ingest"):
+            for (qidx, tid), value in zip(draws, values):
+                state.ingest(config, tid, value)
 
     def _independent_split(
         self,
@@ -999,8 +1266,15 @@ class ConfigurationSelector:
         state: IndependentState,
         strats: Sequence[Stratification],
         active: Sequence[int],
+        pending: Optional[Dict[Tuple[int, int], int]] = None,
     ) -> Optional[Tuple[int, int]]:
-        """Greedy (configuration, stratum) choice per §5.2."""
+        """Greedy (configuration, stratum) choice per §5.2.
+
+        ``pending`` maps ``(config, stratum)`` to draws already planned
+        (but not yet taken) by the current draw-ahead batch; they are
+        treated as taken, so successive picks of one batch follow the
+        same trajectory a serial re-pick after each round would.
+        """
         best_pick: Optional[Tuple[int, int]] = None
         best_score = -1.0
         for config in active:
@@ -1008,16 +1282,20 @@ class ConfigurationSelector:
             stats = state.stratum_stats(config, strat)
             overheads = self._stratum_overheads(strat)
             for h, stratum in enumerate(strat.strata):
-                remaining = state.samplers[config].remaining_in(stratum)
-                if remaining == 0:
+                planned = pending.get((config, h), 0) if pending else 0
+                remaining = (
+                    state.samplers[config].remaining_in(stratum) - planned
+                )
+                if remaining <= 0:
                     continue
+                n_eff = int(stats.n[h]) + planned
                 red = variance_reduction(
                     float(strat.sizes[h]),
                     float(stats.var[h]) if np.isfinite(stats.var[h])
                     else 0.0,
-                    int(stats.n[h]),
+                    n_eff,
                 )
-                if stats.n[h] == 0:
+                if n_eff == 0:
                     red = math.inf
                 elif overheads is not None:
                     red = red / max(1e-12, overheads[h])

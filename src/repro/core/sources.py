@@ -12,16 +12,45 @@ what-if optimizer calls or from a precomputed matrix:
   once and then replay thousands of selection runs against it cheaply;
   the number of *distinct* (query, configuration) lookups is still
   counted, because that is what would have been optimizer calls.
+
+Both expose the scalar :meth:`CostSource.cost` and the vectorized
+:meth:`CostSource.cost_many`, which evaluates a whole batch of
+``(query, configuration)`` pairs in one call — the entry point of the
+selector's round-level draw-ahead.  Batching never changes the paper's
+accounting: ``calls`` counts *distinct* pairs exactly as the scalar
+path does, whichever order or grouping the batch is served in.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Sequence, Set, Tuple
+import os
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-__all__ = ["CostSource", "MatrixCostSource", "OptimizerCostSource"]
+__all__ = [
+    "CostSource",
+    "MatrixCostSource",
+    "OptimizerCostSource",
+    "resolve_cost_workers",
+]
+
+
+def resolve_cost_workers(workers: Optional[int] = None) -> int:
+    """Effective pool size: argument, then ``REPRO_WORKERS``, then 1.
+
+    The same convention as
+    :func:`repro.experiments.parallel.resolve_workers` (duplicated here
+    because the experiments package imports this module): ``0`` or a
+    negative value means "all CPUs"; unset means serial.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = int(raw) if raw else 1
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
 
 
 class CostSource(abc.ABC):
@@ -42,10 +71,38 @@ class CostSource(abc.ABC):
         """Optimizer-estimated cost of query ``query_idx`` in
         configuration ``config_idx``."""
 
+    def cost_many(self, pairs) -> np.ndarray:
+        """Costs of a batch of ``(query_idx, config_idx)`` pairs.
+
+        ``pairs`` is a sequence of index pairs (or an ``(m, 2)`` int
+        array); the result is aligned with it.  The default falls back
+        to the scalar :meth:`cost` pair by pair, so every source
+        supports batching; concrete sources override it with a
+        genuinely vectorized (or pooled) evaluation.  Distinct-call
+        accounting is identical to the scalar loop.
+        """
+        pairs = _as_pairs(pairs)
+        out = np.empty(len(pairs), dtype=np.float64)
+        for i, (q, c) in enumerate(pairs):
+            out[i] = self.cost(int(q), int(c))
+        return out
+
     @property
     @abc.abstractmethod
     def calls(self) -> int:
         """Number of distinct optimizer invocations made so far."""
+
+
+def _as_pairs(pairs) -> np.ndarray:
+    """Normalize batch input to an ``(m, 2)`` int64 array."""
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(
+            f"expected (m, 2) index pairs, got shape {arr.shape}"
+        )
+    return arr
 
 
 class MatrixCostSource(CostSource):
@@ -55,6 +112,14 @@ class MatrixCostSource(CostSource):
     ----------
     matrix:
         Array of shape ``(N, k)``: ``matrix[q, c] = Cost(q_q, C_c)``.
+
+    Notes
+    -----
+    Distinct-call accounting stores touched cells as packed
+    ``q * k + c`` integers — one machine int per cell instead of a
+    ``(q, c)`` tuple object, which kept multi-round selections from
+    ballooning the tracking set's memory.  :attr:`calls` semantics are
+    unchanged: the number of *distinct* cells ever read.
     """
 
     def __init__(self, matrix: np.ndarray) -> None:
@@ -64,7 +129,8 @@ class MatrixCostSource(CostSource):
                 f"expected an (N, k) matrix, got shape {matrix.shape}"
             )
         self._matrix = matrix
-        self._touched: Set[Tuple[int, int]] = set()
+        #: Packed ``q * k + c`` keys of distinct cells served.
+        self._touched: Set[int] = set()
 
     @property
     def n_queries(self) -> int:
@@ -80,8 +146,19 @@ class MatrixCostSource(CostSource):
         return self._matrix
 
     def cost(self, query_idx: int, config_idx: int) -> float:
-        self._touched.add((query_idx, config_idx))
+        self._touched.add(query_idx * self._matrix.shape[1] + config_idx)
         return float(self._matrix[query_idx, config_idx])
+
+    def cost_many(self, pairs) -> np.ndarray:
+        """One fancy-indexing gather for the whole batch."""
+        pairs = _as_pairs(pairs)
+        if len(pairs) == 0:
+            return np.empty(0, dtype=np.float64)
+        q = pairs[:, 0]
+        c = pairs[:, 1]
+        keys = q * self._matrix.shape[1] + c
+        self._touched.update(keys.tolist())
+        return self._matrix[q, c]
 
     @property
     def calls(self) -> int:
@@ -100,6 +177,28 @@ class MatrixCostSource(CostSource):
         return int(np.argmin(self.true_totals()))
 
 
+# ----------------------------------------------------------------------
+# worker-side state of the optional OptimizerCostSource process pool
+# (initializer-shipped once per worker, mirroring experiments.parallel)
+# ----------------------------------------------------------------------
+_POOL_STATE: dict = {}
+
+
+def _init_cost_worker(queries, configs, optimizer) -> None:
+    _POOL_STATE["queries"] = queries
+    _POOL_STATE["configs"] = configs
+    _POOL_STATE["optimizer"] = optimizer
+
+
+def _cost_chunk(chunk: List[Tuple[int, int]]) -> List[float]:
+    queries = _POOL_STATE["queries"]
+    configs = _POOL_STATE["configs"]
+    optimizer = _POOL_STATE["optimizer"]
+    return [
+        optimizer.cost(queries[q], configs[c]) for q, c in chunk
+    ]
+
+
 class OptimizerCostSource(CostSource):
     """Costs from live what-if calls over a workload.
 
@@ -112,14 +211,27 @@ class OptimizerCostSource(CostSource):
         ``config_idx``.
     optimizer:
         A :class:`repro.optimizer.whatif.WhatIfOptimizer`.
+    workers:
+        Process-pool size for :meth:`cost_many` plan searches; ``None``
+        defers to ``REPRO_WORKERS`` (PR 1 convention, default serial),
+        ``0``/negative means all CPUs.  Results and every counter are
+        identical to the serial path — workers only run the plan
+        searches; the parent installs each value with exact
+        distinct-call accounting.
     """
 
+    #: Below this many uncached pairs a batch is served serially even
+    #: when a pool is configured — IPC would dominate the plan searches.
+    POOL_MIN_BATCH = 24
+
     def __init__(self, workload, configurations: Sequence,
-                 optimizer) -> None:
+                 optimizer, workers: Optional[int] = None) -> None:
         self._workload = workload
         self._configs = list(configurations)
         self._optimizer = optimizer
         self._baseline_calls = optimizer.calls
+        self._workers = workers
+        self._pool = None
 
     @property
     def n_queries(self) -> int:
@@ -143,6 +255,128 @@ class OptimizerCostSource(CostSource):
         return self._optimizer.cost(
             self._workload[query_idx], self._configs[config_idx]
         )
+
+    # ------------------------------------------------------------------
+    # batched evaluation
+    # ------------------------------------------------------------------
+    def _batch_order(self, pairs: np.ndarray) -> np.ndarray:
+        """Evaluation order that clusters fingerprint-cache hits.
+
+        Pairs are grouped by the query's *template* first (queries of a
+        template share structure, so their refined fingerprints — and
+        the per-query table contexts behind them — stay warm), then by
+        query so all k lookups of a statement run back to back (the
+        query-major order of :mod:`repro.optimizer.batch`), then by
+        configuration for deterministic tie order.
+        """
+        template_ids = getattr(self._workload, "template_ids", None)
+        if template_ids is None:
+            return np.lexsort((pairs[:, 1], pairs[:, 0]))
+        tids = np.asarray(template_ids)[pairs[:, 0]]
+        return np.lexsort((pairs[:, 1], pairs[:, 0], tids))
+
+    def cost_many(self, pairs) -> np.ndarray:
+        """Batched evaluation with cache-aware ordering.
+
+        The batch is evaluated in template-clustered order (see
+        :meth:`_batch_order`) so fingerprint-cache and plan-memo hits
+        run consecutively; with a pool, cache-missing plan searches fan
+        out over worker processes.  Values, ``calls``, ``cache_hits``
+        and ``fingerprint_hits`` all end up exactly as if the scalar
+        :meth:`cost` loop had served the batch.
+        """
+        pairs = _as_pairs(pairs)
+        out = np.empty(len(pairs), dtype=np.float64)
+        if len(pairs) == 0:
+            return out
+        order = self._batch_order(pairs)
+        workers = resolve_cost_workers(self._workers)
+        if workers > 1:
+            pooled = self._cost_many_pooled(pairs, order, out, workers)
+            if pooled is not None:
+                return pooled
+        for i in order:
+            out[i] = self.cost(int(pairs[i, 0]), int(pairs[i, 1]))
+        return out
+
+    def _cost_many_pooled(
+        self,
+        pairs: np.ndarray,
+        order: np.ndarray,
+        out: np.ndarray,
+        workers: int,
+    ) -> Optional[np.ndarray]:
+        """Fan uncached plan searches out over a process pool.
+
+        Returns ``None`` to signal "serve serially instead" (batch too
+        small once cached pairs are excluded).  Each evaluated value is
+        installed into the parent optimizer via
+        :meth:`~repro.optimizer.whatif.WhatIfOptimizer.install_cost`
+        *in batch order*, so duplicate pairs and fingerprint
+        collisions hit the same counters, in the same order, as the
+        serial loop.
+        """
+        opt = self._optimizer
+        # Uncached distinct pairs, in cluster order.
+        misses: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
+        for i in order:
+            q, c = int(pairs[i, 0]), int(pairs[i, 1])
+            if (q, c) in seen:
+                continue
+            seen.add((q, c))
+            if not opt.is_cached(self._workload[q], self._configs[c]):
+                misses.append((q, c))
+        if len(misses) < max(self.POOL_MIN_BATCH, 2 * workers):
+            return None
+        pool = self._ensure_pool(workers)
+        n_chunks = max(1, min(workers * 4, len(misses)))
+        size = -(-len(misses) // n_chunks)
+        chunks = [
+            misses[i:i + size] for i in range(0, len(misses), size)
+        ]
+        values: dict = {}
+        for chunk, result in zip(chunks, pool.map(_cost_chunk, chunks)):
+            for (q, c), value in zip(chunk, result):
+                values[(q, c)] = value
+        # Install in batch order: counters advance exactly as serially.
+        for i in order:
+            q, c = int(pairs[i, 0]), int(pairs[i, 1])
+            key = (q, c)
+            if key in values:
+                out[i] = opt.install_cost(
+                    self._workload[q], self._configs[c], values[key]
+                )
+            else:
+                out[i] = self.cost(q, c)
+        return out
+
+    def _ensure_pool(self, workers: int):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_cost_worker,
+                initargs=(
+                    list(getattr(self._workload, "queries", self._workload)),
+                    self._configs,
+                    self._optimizer,
+                ),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op when none was started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-exit best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
     @property
     def calls(self) -> int:

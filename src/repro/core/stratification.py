@@ -82,6 +82,13 @@ class Stratification:
             ],
             dtype=np.int64,
         )
+        #: Member template ids per stratum as ready-made index arrays —
+        #: the estimators gather per-template moments with these every
+        #: evaluation round, so they are built once per stratification.
+        self.tid_arrays: Tuple[np.ndarray, ...] = tuple(
+            np.fromiter(stratum, dtype=np.int64, count=len(stratum))
+            for stratum in self.strata
+        )
 
     @classmethod
     def single(cls, template_sizes: Dict[int, int]) -> "Stratification":

@@ -148,13 +148,18 @@ def select_fixed_budget(
     rng: np.random.Generator,
     n_min: int = 30,
     reeval_every: int = 4,
+    batch_rounds: int = 1,
 ) -> int:
     """Run one scheme for ``budget`` optimizer calls; return its choice.
 
     Budgets count optimizer calls: a Delta draw costs ``k`` calls (one
     per configuration), an Independent draw costs one.
     ``reeval_every`` batches draws between evaluations on the
-    progressive path (pure Monte Carlo speed knob).
+    progressive path (pure Monte Carlo speed knob); ``batch_rounds``
+    additionally enables the selector's round-level draw-ahead
+    (``>= 2``), trading per-draw adaptivity for vectorized
+    ``cost_many`` gathers — at ``1`` (the default) the schedule is
+    bit-identical to the historical serial loop.
     """
     N, k = matrix.shape
     if spec.stratify == "progressive":
@@ -168,6 +173,7 @@ def select_fixed_budget(
             eliminate=False,
             max_calls=budget,
             reeval_every=reeval_every,
+            batch_rounds=batch_rounds,
         )
         result = ConfigurationSelector(
             source, template_ids, options, rng=rng
@@ -238,6 +244,7 @@ def prcs_curve(
     delta: float = 0.0,
     n_min: int = 30,
     reeval_every: int = 4,
+    batch_rounds: int = 1,
 ) -> np.ndarray:
     """Monte Carlo "true Pr(CS)" for each budget (Figures 1-4).
 
@@ -254,7 +261,7 @@ def prcs_curve(
             )
             chosen = select_fixed_budget(
                 matrix, template_ids, spec, budget, rng, n_min=n_min,
-                reeval_every=reeval_every,
+                reeval_every=reeval_every, batch_rounds=batch_rounds,
             )
             if _is_correct(totals, chosen, delta):
                 correct += 1
@@ -284,6 +291,7 @@ def _table_trial(
     n_min: int,
     consecutive: int,
     reeval_every: int,
+    batch_rounds: int = 1,
 ) -> Dict[str, Tuple[int, float, float]]:
     """One Monte Carlo trial of the Table 2/3 protocol.
 
@@ -304,6 +312,7 @@ def _table_trial(
         consecutive=consecutive,
         eliminate=True,
         reeval_every=reeval_every,
+        batch_rounds=batch_rounds,
     )
     result = ConfigurationSelector(
         source, template_ids, options, rng=rng
@@ -393,6 +402,7 @@ def multi_config_table(
     n_min: int = 30,
     consecutive: int = 10,
     reeval_every: int = 4,
+    batch_rounds: int = 1,
 ) -> List[MultiConfigRow]:
     """The Table 2/3 protocol for one configuration set.
 
@@ -412,6 +422,7 @@ def multi_config_table(
         _table_trial(
             matrix, template_ids, groups_map, trial, seed,
             alpha, delta, n_min, consecutive, reeval_every,
+            batch_rounds=batch_rounds,
         )
         for trial in range(trials)
     ]

@@ -105,7 +105,7 @@ def _init_worker(matrix: np.ndarray, template_ids: np.ndarray) -> None:
 
 def _curve_chunk(args: Tuple) -> List[Tuple[int, int, int]]:
     """Run a chunk of (budget-index, trial) tasks; return selections."""
-    spec, budgets, seed, n_min, reeval_every, tasks = args
+    spec, budgets, seed, n_min, reeval_every, batch_rounds, tasks = args
     matrix = _STATE["matrix"]
     template_ids = _STATE["template_ids"]
     out = []
@@ -114,6 +114,7 @@ def _curve_chunk(args: Tuple) -> List[Tuple[int, int, int]]:
         chosen = select_fixed_budget(
             matrix, template_ids, spec, budgets[b_idx], rng,
             n_min=n_min, reeval_every=reeval_every,
+            batch_rounds=batch_rounds,
         )
         out.append((b_idx, trial, chosen))
     return out
@@ -121,7 +122,8 @@ def _curve_chunk(args: Tuple) -> List[Tuple[int, int, int]]:
 
 def _table_chunk(args: Tuple) -> List[Tuple[int, Dict]]:
     """Run a chunk of Table 2/3 trials; return per-trial records."""
-    seed, alpha, delta, n_min, consecutive, reeval_every, trials = args
+    (seed, alpha, delta, n_min, consecutive, reeval_every,
+     batch_rounds, trials) = args
     matrix = _STATE["matrix"]
     template_ids = _STATE["template_ids"]
     groups_map = _STATE["groups_map"]
@@ -131,6 +133,7 @@ def _table_chunk(args: Tuple) -> List[Tuple[int, Dict]]:
             _table_trial(
                 matrix, template_ids, groups_map, trial, seed,
                 alpha, delta, n_min, consecutive, reeval_every,
+                batch_rounds=batch_rounds,
             ),
         )
         for trial in trials
@@ -150,6 +153,7 @@ def prcs_curve(
     delta: float = 0.0,
     n_min: int = 30,
     reeval_every: int = 4,
+    batch_rounds: int = 1,
     workers: Optional[int] = None,
     chunks_per_worker: int = 4,
 ) -> np.ndarray:
@@ -164,6 +168,7 @@ def prcs_curve(
         return _serial_prcs_curve(
             matrix, template_ids, spec, budgets, trials, seed=seed,
             delta=delta, n_min=n_min, reeval_every=reeval_every,
+            batch_rounds=batch_rounds,
         )
     matrix = np.asarray(matrix, dtype=np.float64)
     template_ids = np.asarray(template_ids, dtype=np.int64)
@@ -173,7 +178,7 @@ def prcs_curve(
         for trial in range(trials)
     ]
     payloads = [
-        (spec, budgets, seed, n_min, reeval_every, chunk)
+        (spec, budgets, seed, n_min, reeval_every, batch_rounds, chunk)
         for chunk in _chunked(tasks, workers * chunks_per_worker)
     ]
     totals = matrix.sum(axis=0)
@@ -200,6 +205,7 @@ def multi_config_table(
     n_min: int = 30,
     consecutive: int = 10,
     reeval_every: int = 4,
+    batch_rounds: int = 1,
     workers: Optional[int] = None,
     chunks_per_worker: int = 4,
 ) -> List[MultiConfigRow]:
@@ -214,12 +220,13 @@ def multi_config_table(
         return _serial_multi_config_table(
             matrix, template_ids, alpha=alpha, delta=delta, trials=trials,
             seed=seed, n_min=n_min, consecutive=consecutive,
-            reeval_every=reeval_every,
+            reeval_every=reeval_every, batch_rounds=batch_rounds,
         )
     matrix = np.asarray(matrix, dtype=np.float64)
     template_ids = np.asarray(template_ids, dtype=np.int64)
     payloads = [
-        (seed, alpha, delta, n_min, consecutive, reeval_every, chunk)
+        (seed, alpha, delta, n_min, consecutive, reeval_every,
+         batch_rounds, chunk)
         for chunk in _chunked(
             list(range(trials)), workers * chunks_per_worker
         )

@@ -50,6 +50,16 @@ class PhaseTimer:
         """Accumulated wall time of one phase (0.0 if never entered)."""
         return self._seconds.get(name, 0.0)
 
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's phases into this one.
+
+        Used to aggregate per-run timers (e.g. one selector run per
+        retune) into a session-level profile; phases new to ``self``
+        keep ``other``'s relative order.
+        """
+        for name, elapsed in other.as_dict().items():
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+
     @property
     def total(self) -> float:
         """Sum of all phase times."""

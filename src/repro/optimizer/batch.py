@@ -93,6 +93,7 @@ def cost_matrix_with_stats(
     optimizer: WhatIfOptimizer,
     progress: Optional[ProgressFn] = None,
     progress_every: int = 100,
+    workers: Optional[int] = None,
 ) -> Tuple[np.ndarray, MatrixBuildStats]:
     """Build the ``N x k`` ground-truth matrix, returning build stats.
 
@@ -109,6 +110,14 @@ def cost_matrix_with_stats(
     progress:
         Optional ``(queries_done, queries_total)`` callback, invoked
         every ``progress_every`` queries and once at the end.
+    workers:
+        Process-pool size for the plan searches, resolved like
+        :func:`repro.core.sources.resolve_cost_workers` (``None``
+        defers to ``REPRO_WORKERS``, default serial).  With more than
+        one worker the build runs through
+        :meth:`~repro.core.sources.OptimizerCostSource.cost_many` in
+        query stripes; call counters and cell values are identical to
+        the serial sweep.
     """
     queries = _queries_of(workload)
     configs = list(configurations)
@@ -118,13 +127,37 @@ def cost_matrix_with_stats(
     hits0 = optimizer.cache_hits
     fp0 = optimizer.fingerprint_hits
     start = time.perf_counter()
-    cost = optimizer.cost
-    for qi, query in enumerate(queries):
-        row = matrix[qi]
-        for ci, config in enumerate(configs):
-            row[ci] = cost(query, config)
-        if progress is not None and (qi + 1) % progress_every == 0:
-            progress(qi + 1, n)
+
+    from ..core.sources import OptimizerCostSource, resolve_cost_workers
+
+    if resolve_cost_workers(workers) > 1 and n * k > 0:
+        source = OptimizerCostSource(
+            workload, configs, optimizer, workers=workers
+        )
+        try:
+            stripe = max(1, progress_every)
+            cols = np.arange(k, dtype=np.int64)
+            for lo in range(0, n, stripe):
+                hi = min(lo + stripe, n)
+                rows = np.arange(lo, hi, dtype=np.int64)
+                pairs = np.stack(
+                    [np.repeat(rows, k), np.tile(cols, hi - lo)], axis=1
+                )
+                matrix[lo:hi] = source.cost_many(pairs).reshape(
+                    hi - lo, k
+                )
+                if progress is not None and hi < n:
+                    progress(hi, n)
+        finally:
+            source.close()
+    else:
+        cost = optimizer.cost
+        for qi, query in enumerate(queries):
+            row = matrix[qi]
+            for ci, config in enumerate(configs):
+                row[ci] = cost(query, config)
+            if progress is not None and (qi + 1) % progress_every == 0:
+                progress(qi + 1, n)
     wall = time.perf_counter() - start
     if progress is not None:
         progress(n, n)
@@ -145,10 +178,12 @@ def cost_matrix(
     optimizer: WhatIfOptimizer,
     progress: Optional[ProgressFn] = None,
     progress_every: int = 100,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Build the ``N x k`` ground-truth matrix (stats discarded)."""
     matrix, _stats = cost_matrix_with_stats(
         workload, configurations, optimizer,
         progress=progress, progress_every=progress_every,
+        workers=workers,
     )
     return matrix

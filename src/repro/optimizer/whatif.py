@@ -207,6 +207,49 @@ class WhatIfOptimizer:
         self._cache[key] = value
         return value
 
+    def is_cached(self, query: Query, config: Configuration) -> bool:
+        """Whether the exact pair is already in the result cache.
+
+        Used by batched cost sources to decide which evaluations still
+        need a plan search; checking never touches the counters.
+        """
+        return (query, config) in self._cache
+
+    def install_cost(
+        self, query: Query, config: Configuration, value: float
+    ) -> float:
+        """Adopt an externally computed cost with exact accounting.
+
+        The batched cost source's worker pool runs plan searches in
+        separate processes and hands the values back here; this method
+        advances :attr:`calls`, :attr:`cache_hits` and
+        :attr:`fingerprint_hits` exactly as :meth:`cost` would have for
+        the same pair in the same order.  When the pair (or its
+        fingerprint) is already cached, the cached value wins — so a
+        worker result can never introduce a value the serial path would
+        not have produced.  Returns the value now cached for the pair.
+        """
+        key = (query, config)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.calls += 1
+        if self.fingerprinting:
+            if query.qtype == QueryType.SELECT:
+                fp = self._select_fp(query, config)
+            else:
+                fp = config.fingerprint(query)
+            fp_key = (query, fp)
+            existing = self._fp_cache.get(fp_key)
+            if existing is None:
+                self._fp_cache[fp_key] = value
+            else:
+                self.fingerprint_hits += 1
+                value = existing
+        self._cache[key] = value
+        return value
+
     def plan(self, query: Query, config: Configuration) -> QueryPlan:
         """Full plan (used by tests, explain and bounds).
 

@@ -301,4 +301,5 @@ def _retune(
         low_confidence=outcome.low_confidence,
         prcs=outcome.selection.prcs,
         terminated_by=outcome.selection.terminated_by,
+        phase_seconds=outcome.phase_seconds,
     )

@@ -22,7 +22,7 @@ offline primitive:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from ..core.selector import (
     SelectorState,
 )
 from ..core.sources import OptimizerCostSource
+from ..experiments.profiling import PhaseTimer
 from ..workload.workload import Workload
 
 __all__ = ["RetuneOutcome", "TuningSession"]
@@ -55,6 +56,8 @@ class RetuneOutcome:
     invalidated_templates: Set[int] = field(default_factory=set)
     accepted: bool = True
     low_confidence: bool = False
+    #: Selector wall time by phase (plan/draw/cost/ingest/evaluate).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 class TuningSession:
@@ -110,6 +113,8 @@ class TuningSession:
         self.retune_count = 0
         self.total_calls = 0
         self._state: Optional[SelectorState] = None
+        #: Session-wide selector phase profile, accumulated per retune.
+        self.timer = PhaseTimer()
 
     def _retune_rng(self) -> np.random.Generator:
         if self.seed is not None:
@@ -157,14 +162,20 @@ class TuningSession:
             workload, self.configurations, self.optimizer
         )
         options = replace(self.options, max_calls=self.retune_budget)
+        retune_timer = PhaseTimer()
         selector = ConfigurationSelector(
             source,
             workload.template_ids,
             options,
             rng=self._retune_rng(),
             warm_state=state,
+            timer=retune_timer,
         )
-        result = selector.run()
+        try:
+            result = selector.run()
+        finally:
+            source.close()
+        self.timer.merge(retune_timer)
 
         low_confidence = (
             result.terminated_by == "max_calls"
@@ -188,4 +199,5 @@ class TuningSession:
             invalidated_templates=invalidated,
             accepted=not degraded,
             low_confidence=low_confidence,
+            phase_seconds=retune_timer.as_dict(),
         )
