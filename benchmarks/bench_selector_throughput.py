@@ -10,6 +10,15 @@ sources and emits a machine-readable ``BENCH_selector.json``:
    evaluated cells/second, per-phase times and the speedup; asserts
    (full mode) the speedup is >= ``--min-speedup`` and the batched call
    count stays within the configured tolerance of the serial schedule.
+   The same scenario is run a third time with the reference per-cut
+   split scoring (``split_scoring="reference"``): the two batched runs
+   take identical decisions, so their split + plan phase times isolate
+   the incremental/vectorized kernels (``phases_speedup`` block;
+   asserted >= ``--min-kernel-speedup`` in full mode).  A ``leaders``
+   block records both sides' final leader and Pr(CS): on a
+   budget-bound run a leader disagreement within the unreached
+   confidence level is a statistical tie, and the benchmark asserts it
+   stays within that tie.
 2. **OptimizerCostSource selection** — the same comparison over live
    what-if calls on a generated TPC-D workload (plan-search bound, so
    the batching win is smaller; reported, not asserted).
@@ -99,9 +108,16 @@ def _run_selection(
         "optimizer_calls": calls,
         "cells_per_second": calls / wall if wall > 0 else 0.0,
         "best_index": int(result.best_index),
+        "prcs": float(result.prcs),
         "terminated_by": result.terminated_by,
         "phases": timer.as_dict(),
     }
+
+
+def _split_plan(run: Dict) -> float:
+    return float(
+        run["phases"].get("split", 0.0) + run["phases"].get("plan", 0.0)
+    )
 
 
 def _compare(
@@ -111,6 +127,7 @@ def _compare(
     batch_rounds: int,
     tolerance: float,
     seed: int,
+    kernel_ab: bool = False,
 ) -> Dict:
     """Serial (batch_rounds=1) vs batched runs of the same scenario."""
     serial = _run_selection(
@@ -134,13 +151,69 @@ def _compare(
         batched["optimizer_calls"] / serial["optimizer_calls"]
         if serial["optimizer_calls"] else 1.0
     )
-    return {
+    # On a budget-bound run (terminated_by != "alpha") neither side has
+    # reached the confidence target, so a best_index disagreement is a
+    # statistical tie between leaders the run could not separate — both
+    # Pr(CS) values sit below alpha — not a correctness divergence.
+    # (The serial and batched engines use different-but-equivalent
+    # estimator updates — streaming buffers vs Welford merges — whose
+    # last-ULP rounding picks different members of the planted tie.)
+    agree = serial["best_index"] == batched["best_index"]
+    leaders = {
+        "serial_best": serial["best_index"],
+        "batched_best": batched["best_index"],
+        "serial_prcs": serial["prcs"],
+        "batched_prcs": batched["prcs"],
+        "alpha": float(base_options.alpha),
+        "agree": agree,
+        "within_confidence_tie": agree or (
+            serial["terminated_by"] != "alpha"
+            and batched["terminated_by"] != "alpha"
+            and serial["prcs"] < base_options.alpha
+            and batched["prcs"] < base_options.alpha
+        ),
+    }
+    report = {
         "serial": serial,
         "batched": dict(batched, batch_rounds=batch_rounds),
         "speedup": speedup,
         "calls_ratio": calls_ratio,
         "call_tolerance": tolerance,
+        "leaders": leaders,
     }
+    if kernel_ab:
+        # Same batched trajectory with the historical per-cut split
+        # scoring: decisions are parity-identical, so the split + plan
+        # phase-time ratio isolates the kernel change.
+        reference = _run_selection(
+            make_source(), template_ids,
+            replace(batched_options, split_scoring="reference"), seed,
+        )
+        ref_sp = _split_plan(reference)
+        inc_sp = _split_plan(batched)
+        report["phases_speedup"] = {
+            "phases": ["split", "plan"],
+            "reference": {
+                "split_seconds": reference["phases"].get("split", 0.0),
+                "plan_seconds": reference["phases"].get("plan", 0.0),
+                "split_plan_seconds": ref_sp,
+                "wall_seconds": reference["wall_seconds"],
+            },
+            "incremental": {
+                "split_seconds": batched["phases"].get("split", 0.0),
+                "plan_seconds": batched["phases"].get("plan", 0.0),
+                "split_plan_seconds": inc_sp,
+                "wall_seconds": batched["wall_seconds"],
+            },
+            "speedup": ref_sp / inc_sp if inc_sp > 0 else 0.0,
+            "decisions_match": (
+                reference["best_index"] == batched["best_index"]
+                and reference["optimizer_calls"]
+                == batched["optimizer_calls"]
+                and reference["prcs"] == batched["prcs"]
+            ),
+        }
+    return report
 
 
 def section_matrix(quick: bool, tolerance: float) -> Dict:
@@ -165,6 +238,7 @@ def section_matrix(quick: bool, tolerance: float) -> Dict:
         lambda: MatrixCostSource(matrix),
         template_ids, options,
         batch_rounds=64, tolerance=tolerance, seed=7,
+        kernel_ab=True,
     )
     report.update(
         n_queries=n, k=k, scheme="delta", stratify="progressive",
@@ -256,6 +330,10 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required MatrixCostSource speedup "
                              "(full mode only)")
+    parser.add_argument("--min-kernel-speedup", type=float, default=3.0,
+                        help="required split+plan reduction of the "
+                             "incremental split kernel vs the reference "
+                             "per-cut scoring (full mode only)")
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="batch_call_tolerance for the batched runs")
     parser.add_argument("--skip-optimizer", action="store_true",
@@ -285,6 +363,21 @@ def main(argv=None) -> int:
           f"({m['batched']['cells_per_second']:,.0f} cells/s)")
     print(f"  speedup         : {m['speedup']:.2f}x "
           f"(calls ratio {m['calls_ratio']:.3f})")
+    ld = m["leaders"]
+    print(f"  leaders         : serial={ld['serial_best']} "
+          f"(PrCS {ld['serial_prcs']:.3f}) "
+          f"batched={ld['batched_best']} "
+          f"(PrCS {ld['batched_prcs']:.3f}) "
+          f"alpha={ld['alpha']} "
+          f"within_confidence_tie={ld['within_confidence_tie']}")
+    ps = m.get("phases_speedup")
+    if ps:
+        print(f"  split+plan      : reference "
+              f"{ps['reference']['split_plan_seconds']:.2f}s -> "
+              f"incremental "
+              f"{ps['incremental']['split_plan_seconds']:.2f}s "
+              f"({ps['speedup']:.2f}x, decisions_match="
+              f"{ps['decisions_match']})")
     if "optimizer_selection" in report:
         o = report["optimizer_selection"]
         print(f"optimizer selection: N={o['n_queries']} k={o['k']} -> "
@@ -307,6 +400,26 @@ def main(argv=None) -> int:
         failures.append(
             f"matrix-selection speedup {m['speedup']:.2f}x below "
             f"{args.min_speedup:.1f}x"
+        )
+    if not m["leaders"]["within_confidence_tie"]:
+        failures.append(
+            "serial and batched leaders disagree beyond the reported "
+            f"confidence tie (serial={m['leaders']['serial_best']} "
+            f"PrCS {m['leaders']['serial_prcs']:.3f}, "
+            f"batched={m['leaders']['batched_best']} "
+            f"PrCS {m['leaders']['batched_prcs']:.3f}, "
+            f"alpha={m['leaders']['alpha']})"
+        )
+    ps = m.get("phases_speedup")
+    if ps and not ps["decisions_match"]:
+        failures.append(
+            "reference split scoring diverged from the incremental "
+            "kernel (decisions must be parity-identical)"
+        )
+    if ps and not args.quick and ps["speedup"] < args.min_kernel_speedup:
+        failures.append(
+            f"split+plan reduction {ps['speedup']:.2f}x below "
+            f"{args.min_kernel_speedup:.1f}x"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

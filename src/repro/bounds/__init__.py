@@ -7,8 +7,18 @@ from .clt import (
     validate_sample_size,
 )
 from .cost_bounds import CostBounder, CostIntervals
-from .skew_bound import SkewBoundResult, max_skew_bound
-from .variance_bound import VarianceBoundResult, max_variance_bound
+from .skew_bound import (
+    SkewBoundResult,
+    clear_skew_bound_cache,
+    max_skew_bound,
+    skew_bound_cache_stats,
+)
+from .variance_bound import (
+    VarianceBoundResult,
+    clear_variance_bound_cache,
+    max_variance_bound,
+    variance_bound_cache_stats,
+)
 
 __all__ = [
     "CLTValidation",
@@ -21,4 +31,20 @@ __all__ = [
     "max_skew_bound",
     "VarianceBoundResult",
     "max_variance_bound",
+    "bounds_cache_stats",
+    "clear_bounds_caches",
 ]
+
+
+def bounds_cache_stats() -> dict:
+    """Combined hit/miss counters of the two DP memo caches."""
+    return {
+        "variance": variance_bound_cache_stats(),
+        "skew": skew_bound_cache_stats(),
+    }
+
+
+def clear_bounds_caches() -> None:
+    """Clear both DP memo caches (tests, long-lived services)."""
+    clear_variance_bound_cache()
+    clear_skew_bound_cache()

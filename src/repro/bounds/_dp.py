@@ -35,6 +35,7 @@ __all__ = [
     "round_to_grid",
     "group_intervals",
     "apply_group",
+    "apply_group_reference",
 ]
 
 
@@ -115,12 +116,77 @@ def apply_group(
     cur = len(state)
     new_len = cur + m * d
     fill = -np.inf if kind == "max" else np.inf
-    out = np.full(new_len, fill)
     n_classes = min(d, new_len)
     if m + 1 < n_classes:
         # Few items, wide interval: enumerating the flip count c is
         # cheaper than walking d residue classes (m + 1 whole-array
-        # ops instead of d per-class filters).
+        # ops instead of one packed filter over d rows).
+        out = np.full(new_len, fill)
+        reducer = np.maximum if kind == "max" else np.minimum
+        for c in range(m + 1):
+            lo_off = c * d
+            contribution = m * base + c * alpha
+            segment = out[lo_off: lo_off + cur]
+            reducer(segment, state + contribution, out=segment)
+        return out
+    # Pack the d residue classes as rows of one (d, width) matrix —
+    # state[r + i*d] lands at [r, i] — pad every row with `fill`, and
+    # run a single axis-1 trailing-window filter.  Row r sees exactly
+    # the inputs the per-class loop fed its 1-D filter (fill padding
+    # included), so each class's output is bitwise identical; the
+    # transpose-ravel scatters [r, i] back to position r + i*d, and the
+    # short rows' surplus tail entries all land at indices >= new_len,
+    # where truncation drops them.
+    width = -(-cur // d)
+    padded = np.full(width * d, fill)
+    padded[:cur] = state
+    packed = padded.reshape(width, d).T
+    idx = np.arange(width, dtype=np.float64)
+    u = np.concatenate(
+        [packed - idx * alpha, np.full((d, m), fill)], axis=1
+    )
+    size = m + 1
+    origin = (size - 1) // 2
+    if kind == "max":
+        ext = maximum_filter1d(
+            u, size=size, axis=1, mode="constant", cval=fill,
+            origin=origin,
+        )
+    else:
+        ext = minimum_filter1d(
+            u, size=size, axis=1, mode="constant", cval=fill,
+            origin=origin,
+        )
+    p = np.arange(width + m, dtype=np.float64)
+    out = m * base + p * alpha + ext
+    return out.T.ravel()[:new_len].copy()
+
+
+def apply_group_reference(
+    state: np.ndarray,
+    d: int,
+    m: int,
+    base: float,
+    alpha: float,
+    kind: str = "max",
+) -> np.ndarray:
+    """The historical per-residue-class transition (parity baseline).
+
+    Same contract as :func:`apply_group`; walks the ``d`` residue
+    classes one strided slice at a time instead of packing them into a
+    single filtered matrix.  Kept for the bitwise-parity tests in
+    ``tests/test_bound_kernels.py``.
+    """
+    if d <= 0:
+        raise ValueError(f"group width d must be positive, got {d}")
+    if m <= 0:
+        raise ValueError(f"group multiplicity must be positive, got {m}")
+    cur = len(state)
+    new_len = cur + m * d
+    fill = -np.inf if kind == "max" else np.inf
+    out = np.full(new_len, fill)
+    n_classes = min(d, new_len)
+    if m + 1 < n_classes:
         reducer = np.maximum if kind == "max" else np.minimum
         for c in range(m + 1):
             lo_off = c * d

@@ -28,6 +28,7 @@ sample-size checks built on it never accept a too-small sample.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -36,7 +37,32 @@ import numpy as np
 from ._dp import apply_group, group_intervals
 from ._dp import round_to_grid as _round_to_grid
 
-__all__ = ["SkewBoundResult", "max_skew_bound"]
+__all__ = [
+    "SkewBoundResult",
+    "max_skew_bound",
+    "skew_bound_cache_stats",
+    "clear_skew_bound_cache",
+]
+
+# Memoization by rounded interval multiset, as in variance_bound: all
+# three DPs and the per-state combination walk the canonical group
+# order, so the result is a pure function of (rho, variance_floor,
+# grouped intervals).
+_MEMO_MAX = 256
+_memo: "OrderedDict[tuple, SkewBoundResult]" = OrderedDict()
+_memo_stats = {"hits": 0, "misses": 0}
+
+
+def skew_bound_cache_stats() -> dict:
+    """Hit/miss counters and current size of the DP memo cache."""
+    return dict(_memo_stats, size=len(_memo), capacity=_MEMO_MAX)
+
+
+def clear_skew_bound_cache() -> None:
+    """Drop all memoized skew-bound results and reset counters."""
+    _memo.clear()
+    _memo_stats["hits"] = 0
+    _memo_stats["misses"] = 0
 
 
 @dataclass(frozen=True)
@@ -65,6 +91,7 @@ def max_skew_bound(
     rho: float,
     max_states: Optional[int] = 50_000_000,
     variance_floor: float = 1e-12,
+    memoize: bool = True,
 ) -> SkewBoundResult:
     """Conservative upper bound on ``G1_max`` over the interval box.
 
@@ -72,7 +99,8 @@ def max_skew_bound(
     :func:`repro.bounds.variance_bound.max_variance_bound`;
     ``variance_floor`` guards the denominator (states whose variance
     lower bound falls below it yield an infinite skew bound, which is
-    the conservative answer).
+    the conservative answer).  ``memoize`` serves repeated rounded
+    interval multisets from the module-level cache.
     """
     lows = np.asarray(lows, dtype=np.float64)
     highs = np.asarray(highs, dtype=np.float64)
@@ -98,12 +126,22 @@ def max_skew_bound(
 
     base_sum = int(a.sum())
 
+    groups = group_intervals(a, b)
+    key = (float(rho), float(variance_floor), tuple(groups))
+    if memoize:
+        cached = _memo.get(key)
+        if cached is not None:
+            _memo.move_to_end(key)
+            _memo_stats["hits"] += 1
+            return cached
+        _memo_stats["misses"] += 1
+
     max_sq = np.zeros(1)
     min_sq = np.zeros(1)
     max_cu = np.zeros(1)
     fixed_sq = 0.0
     fixed_cu = 0.0
-    for lo_g, hi_g, m in group_intervals(a, b):
+    for lo_g, hi_g, m in groups:
         lo_v = lo_g * rho
         hi_v = hi_g * rho
         if hi_g == lo_g:
@@ -146,5 +184,10 @@ def max_skew_bound(
                       ratios)
     ratios = np.where(reachable, ratios, -np.inf)
     g1 = float(np.max(ratios)) if len(ratios) else 0.0
-    return SkewBoundResult(g1_max=max(0.0, g1), states=total_states,
-                           rho=rho)
+    result = SkewBoundResult(g1_max=max(0.0, g1), states=total_states,
+                             rho=rho)
+    if memoize:
+        _memo[key] = result
+        if len(_memo) > _MEMO_MAX:
+            _memo.popitem(last=False)
+    return result

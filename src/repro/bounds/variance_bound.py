@@ -23,10 +23,19 @@ The published optimizations are implemented, plus one more:
 
 The state space has ``1 + sum_i range_i`` entries, linear in ``1/rho``
 — matching the overhead shape of the paper's Table 1.
+
+Results are memoized (``memoize=True``, the default) keyed by the
+*rounded interval multiset* — ``(rho, grouped (lo, hi, multiplicity)
+triples)``.  Identical interval sets recur across configurations and
+strata (whole templates share bounds), and every output of this module
+is a pure function of that multiset: the DP walks groups in canonical
+(sorted) order, and ``theta`` is evaluated over the canonical grouped
+expansion.  A repeated query is a dict hit instead of a full DP.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -34,7 +43,28 @@ import numpy as np
 
 from ._dp import apply_group, group_intervals, round_to_grid
 
-__all__ = ["VarianceBoundResult", "max_variance_bound"]
+__all__ = [
+    "VarianceBoundResult",
+    "max_variance_bound",
+    "variance_bound_cache_stats",
+    "clear_variance_bound_cache",
+]
+
+_MEMO_MAX = 256
+_memo: "OrderedDict[tuple, VarianceBoundResult]" = OrderedDict()
+_memo_stats = {"hits": 0, "misses": 0}
+
+
+def variance_bound_cache_stats() -> dict:
+    """Hit/miss counters and current size of the DP memo cache."""
+    return dict(_memo_stats, size=len(_memo), capacity=_MEMO_MAX)
+
+
+def clear_variance_bound_cache() -> None:
+    """Drop all memoized variance-bound results and reset counters."""
+    _memo.clear()
+    _memo_stats["hits"] = 0
+    _memo_stats["misses"] = 0
 
 # Backwards-compatible alias used by the skew module.
 _round_to_grid = round_to_grid
@@ -78,6 +108,7 @@ def max_variance_bound(
     highs: np.ndarray,
     rho: float,
     max_states: Optional[int] = 50_000_000,
+    memoize: bool = True,
 ) -> VarianceBoundResult:
     """Approximate ``sigma^2_max`` over the interval box (equation 6).
 
@@ -90,6 +121,11 @@ def max_variance_bound(
     max_states:
         Guard against accidental huge state spaces; raises
         ``ValueError`` when exceeded (choose a larger ``rho``).
+    memoize:
+        Serve repeated ``(rho, rounded interval multiset)`` queries
+        from the module-level memo cache (the result is a pure
+        function of that key; the ``max_states`` guard still runs on
+        every call).
 
     Returns
     -------
@@ -123,9 +159,19 @@ def max_variance_bound(
 
     base_sum = int(a.sum())
 
+    groups = group_intervals(a, b)
+    key = (float(rho), tuple(groups))
+    if memoize:
+        cached = _memo.get(key)
+        if cached is not None:
+            _memo.move_to_end(key)
+            _memo_stats["hits"] += 1
+            return cached
+        _memo_stats["misses"] += 1
+
     state = np.zeros(1, dtype=np.float64)
     fixed_sq = 0.0
-    for lo_g, hi_g, m in group_intervals(a, b):
+    for lo_g, hi_g, m in groups:
         lo_sq = (lo_g * rho) ** 2
         hi_sq = (hi_g * rho) ** 2
         if hi_g == lo_g:
@@ -145,10 +191,21 @@ def max_variance_bound(
     sigma2_hat = float(np.max(variances))
 
     # Accuracy band theta = (2/n) * sum(rho * v_i^rho + rho^2/4),
-    # evaluated conservatively with every v_i at its high value.
-    theta = float(
-        2.0 / n * np.sum(rho * (b.astype(np.float64) * rho) + rho * rho / 4)
+    # evaluated conservatively with every v_i at its high value — over
+    # the canonical grouped expansion, so the result depends only on
+    # the interval multiset (required for memoization).
+    b_canon = np.repeat(
+        np.array([hi for _lo, hi, _m in groups], dtype=np.float64),
+        [m for _lo, _hi, m in groups],
     )
-    return VarianceBoundResult(
+    theta = float(
+        2.0 / n * np.sum(rho * (b_canon * rho) + rho * rho / 4)
+    )
+    result = VarianceBoundResult(
         sigma2_hat=sigma2_hat, theta=theta, states=total_states, rho=rho
     )
+    if memoize:
+        _memo[key] = result
+        if len(_memo) > _MEMO_MAX:
+            _memo.popitem(last=False)
+    return result

@@ -725,11 +725,13 @@ class DeltaState:
         """
         pd, sign = self._pair(l, j)
         counts, means, m2s = pd.counts, pd.means, pd.m2s
+        # One segmented reduction yields every stratum's aligned count
+        # (exact: integer sums), so the common all-cached call does
+        # dict lookups only instead of L gather-and-sum dispatches.
+        n_all = strat.member_sums(counts)
         out: List[Tuple[int, float, float]] = []
         for h, stratum in enumerate(strat.strata):
-            tids = strat.tid_arrays[h]
-            c = counts[tids]
-            n_h = int(c.sum())
+            n_h = int(n_all[h])
             if n_h == 0:
                 out.append((0, 0.0, 0.0))
                 continue
@@ -737,6 +739,8 @@ class DeltaState:
             if hit is not None and hit[0] == n_h:
                 m_h, m2_h = hit[1], hit[2]
             else:
+                tids = strat.tid_arrays[h]
+                c = counts[tids]
                 m_h = float((c * means[tids]).sum() / n_h)
                 if n_h >= 2:
                     m2_h = float(

@@ -97,9 +97,22 @@ def pair_target_variance(
     any variance suffices.
     """
     margin = gap + delta
-    z = float(norm.ppf(alpha_pair))
+    # norm.ppf is the dominant cost of a target-variance evaluation
+    # and alpha_pair takes a handful of distinct values per selection
+    # (it only moves when a configuration is eliminated), so the
+    # quantile is memoized — same float, bit for bit.
+    try:
+        z = _PPF_CACHE[alpha_pair]
+    except KeyError:
+        z = _PPF_CACHE[alpha_pair] = float(norm.ppf(alpha_pair))
+        if len(_PPF_CACHE) > 1024:  # pragma: no cover - safety valve
+            _PPF_CACHE.clear()
+            _PPF_CACHE[alpha_pair] = z
     if z <= 0:
         return float("inf")
     if margin <= 0:
         return 0.0
     return (margin / z) ** 2
+
+
+_PPF_CACHE: dict = {}

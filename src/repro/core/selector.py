@@ -36,9 +36,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .allocation import (
+    DeltaStratumScorer,
     batch_multiplier,
     pick_delta_stratum,
-    variance_reduction,
+    variance_reduction_many,
 )
 from .estimators import DeltaState, IndependentState
 from .prcs import (
@@ -47,7 +48,7 @@ from .prcs import (
     pairwise_prcs,
     per_pair_alpha,
 )
-from .progressive import propose_split
+from .progressive import propose_split, propose_split_reference
 from .sources import CostSource
 from .stratification import Stratification
 
@@ -275,6 +276,13 @@ class SelectorOptions:
         (incremental accumulators, O(1) per ingested sample), or
         ``"auto"`` (default — ``"buffer"`` when ``batch_rounds == 1``
         so serial runs stay bit-identical, ``"welford"`` otherwise).
+    split_scoring:
+        Algorithm 2 split-search implementation: ``"incremental"``
+        (default — count-stamped per-stratum prefix-sum aggregates,
+        all cuts scored through one batched ``#Samples`` search) or
+        ``"reference"`` (the historical per-cut recompute, kept for
+        parity testing and benchmarking).  Both produce the same
+        decisions on the pinned scenarios (golden fixture).
     """
 
     alpha: float = 0.9
@@ -292,6 +300,7 @@ class SelectorOptions:
     batch_growth: float = 2.0
     batch_call_tolerance: float = 0.05
     estimator: str = "auto"
+    split_scoring: str = "incremental"
 
     def __post_init__(self) -> None:
         if not (0.0 < self.alpha < 1.0):
@@ -329,6 +338,10 @@ class SelectorOptions:
         if self.estimator not in ("auto", "buffer", "welford"):
             raise ValueError(
                 f"unknown estimator mode {self.estimator!r}"
+            )
+        if self.split_scoring not in ("incremental", "reference"):
+            raise ValueError(
+                f"unknown split_scoring mode {self.split_scoring!r}"
             )
 
 
@@ -430,6 +443,12 @@ class ConfigurationSelector:
                 )
         self.warm_state = warm_state
         self.carried_samples = 0
+        # Per-owner Algorithm 2 split caches (stratum tuple -> stamped
+        # aggregates; see repro.core.progressive).  Delta Sampling keys
+        # by the *directed* binding pair — diff_template_moments negates
+        # means with direction, which flips the cut ordering —
+        # Independent Sampling by configuration.
+        self._split_caches: Dict[Tuple, Dict] = {}
         self._delta_state: Optional[DeltaState] = None
         self._independent_state: Optional[IndependentState] = None
         self._final_strata: Optional[Tuple[Tuple[int, ...], ...]] = None
@@ -873,14 +892,13 @@ class ConfigurationSelector:
         j, target_var = binding
         counts, means, m2s = state.diff_template_moments(best, j)
         t_vars = np.where(counts >= 2, m2s / np.maximum(1, counts - 1), 0.0)
-        decision = propose_split(
+        decision = self._propose_split(
+            ("delta", best, j),
             strat,
-            self._template_size_arr,
             counts,
             means,
             t_vars,
             target_var,
-            self.options.n_min,
         )
         if decision is None:
             return strat
@@ -896,6 +914,32 @@ class ConfigurationSelector:
         self, pair_stats: Dict[int, Tuple[float, float]], best: int
     ) -> List[int]:
         return sorted(set(pair_stats) | {best})
+
+    def _propose_split(
+        self,
+        owner: Tuple,
+        strat: Stratification,
+        counts: np.ndarray,
+        means: np.ndarray,
+        t_vars: np.ndarray,
+        target_var: float,
+    ):
+        """Dispatch Algorithm 2 per ``options.split_scoring``.
+
+        The incremental kernel reuses one cache per moment owner;
+        entries are stamped by stratum sample counts, so only strata
+        that ingested samples since the owner's last check rebuild.
+        """
+        if self.options.split_scoring == "reference":
+            return propose_split_reference(
+                strat, self._template_size_arr, counts, means, t_vars,
+                target_var, self.options.n_min,
+            )
+        cache = self._split_caches.setdefault(owner, {})
+        return propose_split(
+            strat, self._template_size_arr, counts, means, t_vars,
+            target_var, self.options.n_min, cache=cache,
+        )
 
     def _binding_pair(
         self,
@@ -960,15 +1004,21 @@ class ConfigurationSelector:
                 pair_vars.append(vars_h)
             overheads = self._stratum_overheads(strat)
             per_round = max(1, self.options.reeval_every)
+            # Round-to-round only the picked stratum's count moves, so
+            # the variance-greedy scores are maintained incrementally
+            # (bit-identical to a per-round pick_delta_stratum call).
+            scorer = (
+                DeltaStratumScorer(
+                    sizes, pair_vars, counts, overheads=overheads
+                )
+                if pair_vars else None
+            )
             plan: List[Tuple[int, int]] = []
             for _ in range(max(1, rounds)):
                 if exhausted.all():
                     break
-                if pair_vars:
-                    pick = pick_delta_stratum(
-                        sizes, pair_vars, counts, exhausted,
-                        overheads=overheads,
-                    )
+                if scorer is not None:
+                    pick = scorer.pick(exhausted)
                 else:
                     pick = int(np.argmax(np.where(exhausted, -1, sizes)))
                 if pick is None:
@@ -985,6 +1035,8 @@ class ConfigurationSelector:
                 remaining[pick] -= n
                 if remaining[pick] == 0:
                     exhausted[pick] = True
+                if scorer is not None:
+                    scorer.refresh(pick)
         # Draw/cost/ingest the plan, chunked where the budget may bind.
         active = list(active)
         per_draw = max(1, len(active))
@@ -1244,14 +1296,13 @@ class ConfigurationSelector:
         means = state.grid.mean[config]
         m2s = state.grid.m2[config]
         t_vars = np.where(counts >= 2, m2s / np.maximum(1, counts - 1), 0.0)
-        decision = propose_split(
+        decision = self._propose_split(
+            ("independent", config),
             strat,
-            self._template_size_arr,
             counts,
             means,
             t_vars,
             target_var,
-            self.options.n_min,
         )
         if decision is None:
             return strat
@@ -1281,25 +1332,26 @@ class ConfigurationSelector:
             strat = strats[config]
             stats = state.stratum_stats(config, strat)
             overheads = self._stratum_overheads(strat)
+            L = strat.stratum_count
+            planned = np.zeros(L, dtype=np.int64)
+            open_mask = np.zeros(L, dtype=bool)
             for h, stratum in enumerate(strat.strata):
-                planned = pending.get((config, h), 0) if pending else 0
-                remaining = (
-                    state.samplers[config].remaining_in(stratum) - planned
+                p = pending.get((config, h), 0) if pending else 0
+                planned[h] = p
+                open_mask[h] = (
+                    state.samplers[config].remaining_in(stratum) - p > 0
                 )
-                if remaining <= 0:
-                    continue
-                n_eff = int(stats.n[h]) + planned
-                red = variance_reduction(
-                    float(strat.sizes[h]),
-                    float(stats.var[h]) if np.isfinite(stats.var[h])
-                    else 0.0,
-                    n_eff,
-                )
-                if n_eff == 0:
-                    red = math.inf
-                elif overheads is not None:
-                    red = red / max(1e-12, overheads[h])
-                if red > best_score:
-                    best_score = red
-                    best_pick = (config, h)
+            if not open_mask.any():
+                continue
+            n_eff = np.asarray(stats.n, dtype=np.int64) + planned
+            s2 = np.where(np.isfinite(stats.var), stats.var, 0.0)
+            red = variance_reduction_many(strat.sizes, s2, n_eff)
+            if overheads is not None:
+                red = red / np.maximum(1e-12, overheads)
+            red = np.where(n_eff == 0, math.inf, red)
+            scores = np.where(open_mask, red, -math.inf)
+            h = int(np.argmax(scores))
+            if scores[h] > best_score:
+                best_score = float(scores[h])
+                best_pick = (config, h)
         return best_pick

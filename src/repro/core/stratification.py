@@ -17,10 +17,15 @@ characterize a stratum well).  This module provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .allocation import (
+    allocation_variance_batch,
+    neyman_allocation_batch,
+    samples_needed_batch,
+)
 
 __all__ = [
     "Stratification",
@@ -89,6 +94,7 @@ class Stratification:
             np.fromiter(stratum, dtype=np.int64, count=len(stratum))
             for stratum in self.strata
         )
+        self._concat_layout: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @classmethod
     def single(cls, template_sizes: Dict[int, int]) -> "Stratification":
@@ -104,6 +110,29 @@ class Stratification:
     def total_size(self) -> int:
         """Workload size N."""
         return int(self.sizes.sum())
+
+    def member_sums(self, per_template: np.ndarray) -> np.ndarray:
+        """Per-stratum sums of a dense per-template array.
+
+        One gather plus one segmented reduction over a lazily built
+        concatenated index layout — the split search stamps every
+        stratum by its member sample count on each call, and ``L``
+        separate gather-and-sum dispatches dominate that loop for
+        fine stratifications.  Integer inputs sum exactly, so the
+        result matches the per-stratum ``per_template[tids].sum()``
+        loop for the sample-count use case.
+        """
+        if self._concat_layout is None:
+            lengths = np.array(
+                [len(t) for t in self.tid_arrays], dtype=np.int64
+            )
+            offsets = np.zeros(len(lengths), dtype=np.int64)
+            np.cumsum(lengths[:-1], out=offsets[1:])
+            self._concat_layout = (
+                np.concatenate(self.tid_arrays), offsets
+            )
+        tids, offsets = self._concat_layout
+        return np.add.reduceat(per_template[tids], offsets)
 
     def stratum_of(self, template_id: int) -> int:
         """Index of the stratum containing ``template_id``."""
@@ -175,38 +204,12 @@ def neyman_allocation(
     std_devs = np.asarray(std_devs, dtype=np.float64)
     if floors is None:
         floors = np.zeros_like(sizes)
-    floors = np.minimum(np.asarray(floors, dtype=np.int64), sizes)
-    total = int(min(max(total, floors.sum()), sizes.sum()))
-
-    alloc = floors.copy()
-    remaining = total - int(alloc.sum())
-    weights = sizes.astype(np.float64) * std_devs
-    if weights.sum() <= 0:
-        weights = sizes.astype(np.float64)
-
-    # Iteratively hand the remaining budget to unclamped strata.
-    while remaining > 0:
-        open_mask = alloc < sizes
-        if not open_mask.any():
-            break
-        w = np.where(open_mask, weights, 0.0)
-        if w.sum() <= 0:
-            w = np.where(open_mask, sizes.astype(np.float64), 0.0)
-        share = np.floor(remaining * w / w.sum()).astype(np.int64)
-        if share.sum() == 0:
-            # Hand out one at a time to the heaviest open strata.
-            order = np.argsort(-w)
-            for h in order:
-                if remaining <= 0:
-                    break
-                if alloc[h] < sizes[h]:
-                    alloc[h] += 1
-                    remaining -= 1
-            continue
-        new_alloc = np.minimum(alloc + share, sizes)
-        remaining -= int((new_alloc - alloc).sum())
-        alloc = new_alloc
-    return alloc
+    floors = np.asarray(floors, dtype=np.int64)
+    return neyman_allocation_batch(
+        sizes[None, :], std_devs[None, :],
+        np.array([int(total)], dtype=np.int64),
+        floors=floors[None, :],
+    )[0]
 
 
 def allocation_variance(
@@ -221,19 +224,19 @@ def allocation_variance(
     ``n_h -> 0`` being disallowed — callers must allocate at least one
     sample to every stratum with nonzero variance, otherwise ``inf`` is
     returned.
+
+    Delegates to :func:`repro.core.allocation.allocation_variance_batch`
+    (one masked NumPy reduction, accumulated in stratum order), which
+    is bit-identical to the historical sequential loop.
     """
     sizes = np.asarray(sizes, dtype=np.float64)
     variances = np.asarray(variances, dtype=np.float64)
     alloc = np.asarray(alloc, dtype=np.float64)
-    var = 0.0
-    for size, s2, n in zip(sizes, variances, alloc):
-        if s2 <= 0 or size <= 1:
-            continue
-        if n <= 0:
-            return float("inf")
-        fpc = max(0.0, 1.0 - n / size)
-        var += size * size * s2 / n * fpc
-    return float(var)
+    return float(
+        allocation_variance_batch(
+            sizes[None, :], variances[None, :], alloc[None, :]
+        )[0]
+    )
 
 
 def samples_needed(
@@ -255,25 +258,11 @@ def samples_needed(
     variances = np.asarray(variances, dtype=np.float64)
     if floors is None:
         floors = np.zeros_like(sizes)
-    std_devs = np.sqrt(np.maximum(0.0, variances))
-    lo = int(np.minimum(np.maximum(floors, 1), sizes).sum())
-    hi = int(sizes.sum())
-
-    def var_at(total: int) -> float:
-        alloc = neyman_allocation(
-            sizes, std_devs, total,
-            floors=np.maximum(floors, np.minimum(1, sizes)),
-        )
-        return allocation_variance(sizes, variances, alloc)
-
-    if var_at(lo) <= target_var:
-        return lo
-    if var_at(hi) > target_var:
-        return hi
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if var_at(mid) <= target_var:
-            hi = mid
-        else:
-            lo = mid + 1
-    return lo
+    floors = np.asarray(floors, dtype=np.int64)
+    return int(
+        samples_needed_batch(
+            sizes[None, :], variances[None, :],
+            np.array([target_var], dtype=np.float64),
+            floors=floors[None, :],
+        )[0]
+    )

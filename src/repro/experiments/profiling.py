@@ -31,20 +31,40 @@ class PhaseTimer:
         timer.as_dict()  # {"build_matrix": 1.23}
 
     Re-entering a phase name accumulates; phases keep first-use order.
+
+    Attribution is *exclusive*: entering a nested phase pauses the
+    enclosing one, so each second of wall time lands in exactly one
+    phase and the phase sum never exceeds the elapsed wall time.  (A
+    split that pilots its refreshed strata books the pilot's sampling
+    under ``draw``/``cost``/``ingest``, not double-counted under
+    ``split``.)
     """
 
     def __init__(self) -> None:
         self._seconds: Dict[str, float] = {}
+        self._stack: list = []
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a block of work under ``name``."""
         start = time.perf_counter()
+        if self._stack:
+            outer = self._stack[-1]
+            self._seconds[outer[0]] = (
+                self._seconds.get(outer[0], 0.0) + start - outer[1]
+            )
+        frame = [name, start]
+        self._stack.append(frame)
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            end = time.perf_counter()
+            self._seconds[name] = (
+                self._seconds.get(name, 0.0) + end - frame[1]
+            )
+            self._stack.pop()
+            if self._stack:
+                self._stack[-1][1] = end
 
     def seconds(self, name: str) -> float:
         """Accumulated wall time of one phase (0.0 if never entered)."""
