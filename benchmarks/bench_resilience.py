@@ -1,0 +1,140 @@
+"""Resilience layer acceptance: zero-fault overhead, retry cost.
+
+Two guarantees from docs/resilience.md are pinned with numbers:
+
+1. **Zero-fault transparency** — wrapping the cost source in
+   `ResilientCostSource` with no faults firing changes nothing: same
+   best index, same float estimates, same distinct-call count, and
+   negligible wall-clock overhead (the wrapper adds one try/except and
+   two clock reads per batch).
+2. **Recovered faults are invisible to the statistics** — at a 10%
+   transient/slow fault rate every cell of the rate x mode matrix
+   completes bit-identically to the no-fault baseline with a
+   distinct-call ratio of exactly 1.000; the overhead is retries and
+   backoff, both reported, neither touching the sample.
+
+Scale via ``REPRO_RESILIENCE_WL`` (workload size, default 400).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import ConfigurationSelector, MatrixCostSource, \
+    SelectorOptions
+from repro.experiments import format_kv, format_resilience_report, \
+    resilience_experiment
+from repro.experiments.faults import _synthetic_workload
+from repro.faults import FaultPolicy, ResilientCostSource
+
+WL_SIZE = int(os.environ.get("REPRO_RESILIENCE_WL", "400"))
+
+OPTIONS = SelectorOptions(
+    alpha=0.9, scheme="delta", stratify="progressive", n_min=8,
+    consecutive=3, eliminate=True, reeval_every=2,
+)
+
+
+def _select(source, template_ids, seed=123):
+    selector = ConfigurationSelector(
+        source, template_ids, OPTIONS, rng=np.random.default_rng(seed)
+    )
+    return selector.run()
+
+
+def _snapshot(result):
+    return (
+        int(result.best_index),
+        float(result.prcs).hex(),
+        int(result.optimizer_calls),
+        result.terminated_by,
+        tuple(float(x).hex() for x in result.estimates),
+    )
+
+
+def test_resilience(benchmark):
+    matrix, template_ids = _synthetic_workload(WL_SIZE, 16, 5, seed=123)
+
+    # 1. zero-fault transparency: decisions and calls, then wall clock.
+    raw_source = MatrixCostSource(matrix)
+    raw_result = _select(raw_source, template_ids)
+    wrapped_source = ResilientCostSource(
+        MatrixCostSource(matrix), FaultPolicy()
+    )
+    wrapped_result = _select(wrapped_source, template_ids)
+    assert _snapshot(wrapped_result) == _snapshot(raw_result)
+    assert wrapped_source.calls == raw_source.calls
+
+    def _time(make_source, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            source = make_source()
+            start = time.perf_counter()
+            _select(source, template_ids)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    raw_s = _time(lambda: MatrixCostSource(matrix))
+    wrapped_s = _time(
+        lambda: ResilientCostSource(MatrixCostSource(matrix),
+                                    FaultPolicy())
+    )
+    overhead = wrapped_s / raw_s if raw_s > 0 else 1.0
+
+    # 2. the rate x mode matrix (shared helper with `repro faults`).
+    report = resilience_experiment(
+        n_queries=WL_SIZE, n_templates=16, k=5, seed=123
+    )
+
+    print()
+    print(format_kv(
+        {
+            "selection wall (raw source)": f"{raw_s * 1e3:.1f} ms",
+            "selection wall (wrapped)": f"{wrapped_s * 1e3:.1f} ms",
+            "overhead": f"{overhead:.3f}x",
+            "decisions": "bit-identical",
+            "distinct calls": f"{wrapped_source.calls} (ratio 1.000)",
+        },
+        title="Zero-fault wrapper overhead",
+    ))
+    print()
+    print(format_resilience_report(report))
+
+    # Recovered faults may cost retries, never samples: every
+    # transient/slow cell completes bit-identically at call ratio
+    # 1.000 (injection rates include 10%).
+    recovered = [
+        c for c in report.cases if c.mode in ("transient", "slow")
+    ]
+    assert recovered, "experiment produced no recoverable cells"
+    for case in recovered:
+        assert case.completed and not case.exhausted, (
+            f"{case.mode}@{case.rate}: {case.error}"
+        )
+        assert case.identical, (
+            f"{case.mode}@{case.rate} diverged from the baseline"
+        )
+        assert case.distinct_calls == report.baseline_calls, (
+            f"{case.mode}@{case.rate}: {case.distinct_calls} calls "
+            f"vs baseline {report.baseline_calls}"
+        )
+    ten_pct = [c for c in recovered if c.rate >= 0.1]
+    assert ten_pct, "matrix does not include the 10% fault rate"
+    assert any(c.retries > 0 for c in ten_pct), (
+        "10% transient faults should require retries"
+    )
+
+    # Generous bound: the wrapper is two clock reads and a try/except
+    # per batch; anything past 1.5x means per-call work crept in.
+    assert overhead < 1.5, f"wrapper overhead {overhead:.2f}x"
+
+    def one_wrapped_run():
+        return _select(
+            ResilientCostSource(MatrixCostSource(matrix), FaultPolicy()),
+            template_ids,
+        )
+
+    benchmark.pedantic(one_wrapped_run, rounds=3, iterations=1)

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""SIGKILL-and-resume smoke test for the tuning service.
+
+Three runs of the same ``repro serve`` command:
+
+1. A reference run, uninterrupted, to learn the expected final
+   configuration and retune count.
+2. A victim run with ``--checkpoint``: the script watches the event
+   log and SIGKILLs the process the moment the second retune starts —
+   an actual hard crash mid-selection, no cleanup handlers.
+3. The identical command again, which must *resume* from the
+   checkpoint, finish the trace, and land on the reference answer.
+
+Asserts afterwards: the recovered event log is contiguous (``seq`` is
+gapless across the crash — ``read_events`` validates framing), a
+``service_resume`` event was emitted, the final checkpoint sits at the
+end of the trace, and the resumed run's final configuration matches
+the reference.  Exit code 0 on success.
+
+Usage::
+
+    python scripts/crash_recovery_smoke.py [--keep DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without install
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.service import read_events
+from repro.service.checkpoint import load_service_checkpoint
+
+SERVE_ARGS = [
+    "serve", "--db", "crm", "--size", "600", "--seed", "3",
+    "--window", "200", "--budget", "300", "--json",
+]
+KILL_AT_RETUNE = 2
+TIMEOUT = 300.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _cmd(events: str, checkpoint: str) -> list:
+    return [
+        sys.executable, "-m", "repro.cli", *SERVE_ARGS,
+        "--events", events, "--checkpoint", checkpoint,
+    ]
+
+
+def _run_to_completion(events: str, checkpoint: str) -> dict:
+    proc = subprocess.run(
+        _cmd(events, checkpoint),
+        env=_env(), cwd=ROOT, capture_output=True, text=True,
+        timeout=TIMEOUT,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"serve exited with {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def _count_kind(events_path: str, kind: str) -> int:
+    if not os.path.exists(events_path):
+        return 0
+    count = 0
+    with open(events_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of the live log
+            if record.get("kind") == kind:
+                count += 1
+    return count
+
+
+def _run_until_killed(events: str, checkpoint: str) -> None:
+    proc = subprocess.Popen(
+        _cmd(events, checkpoint),
+        env=_env(), cwd=ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + TIMEOUT
+    try:
+        while time.monotonic() < deadline:
+            if _count_kind(events, "retune_start") >= KILL_AT_RETUNE:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30)
+                print(
+                    f"killed pid {proc.pid} at retune "
+                    f"#{KILL_AT_RETUNE} start"
+                )
+                return
+            if proc.poll() is not None:
+                raise SystemExit(
+                    f"victim finished (rc={proc.returncode}) before "
+                    f"retune #{KILL_AT_RETUNE} — trace too short to "
+                    f"crash mid-run"
+                )
+            time.sleep(0.05)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    raise SystemExit("timed out waiting for the kill point")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--keep", metavar="DIR", default=None,
+        help="write artifacts into DIR instead of a temp directory",
+    )
+    args = parser.parse_args()
+
+    workdir = args.keep or tempfile.mkdtemp(prefix="crash_smoke_")
+    os.makedirs(workdir, exist_ok=True)
+    ref_events = os.path.join(workdir, "reference-events.jsonl")
+    ref_ckpt = os.path.join(workdir, "reference-ckpt.json")
+    events = os.path.join(workdir, "crash-events.jsonl")
+    ckpt = os.path.join(workdir, "crash-ckpt.json")
+
+    print("== reference run (uninterrupted) ==")
+    reference = _run_to_completion(ref_events, ref_ckpt)
+    ref_retunes = len(reference["retunes"])
+    print(
+        f"reference: final C{reference['final_index']}, "
+        f"{ref_retunes} retunes"
+    )
+    if ref_retunes < KILL_AT_RETUNE:
+        raise SystemExit("scenario produced too few retunes to test")
+
+    print("== victim run (SIGKILL mid-retune) ==")
+    _run_until_killed(events, ckpt)
+    crashed = load_service_checkpoint(ckpt)
+    print(f"checkpoint after crash: position {crashed['position']}")
+
+    print("== resumed run ==")
+    resumed = _run_to_completion(events, ckpt)
+
+    records = read_events(events)  # validates framing + seq
+    kinds = [r["kind"] for r in records]
+    seqs = [r["seq"] for r in records]
+    assert seqs == list(range(len(records))), (
+        "event log has sequence gaps across the crash"
+    )
+    assert "service_resume" in kinds, "no service_resume event"
+    assert kinds.count("service_start") == 1, (
+        "resume restarted instead of resuming"
+    )
+    assert kinds[-1] == "service_end", kinds[-3:]
+
+    final = load_service_checkpoint(ckpt)
+    assert final["position"] == reference["statements"], (
+        f"resume stopped at {final['position']} of "
+        f"{reference['statements']}"
+    )
+    assert resumed["final_index"] == reference["final_index"], (
+        f"resumed run picked C{resumed['final_index']}, reference "
+        f"picked C{reference['final_index']}"
+    )
+    assert len(resumed["retunes"]) == ref_retunes, (
+        f"resumed run made {len(resumed['retunes'])} retunes, "
+        f"reference made {ref_retunes}"
+    )
+
+    print(
+        f"OK: resumed to final C{resumed['final_index']} "
+        f"({len(resumed['retunes'])} retunes, {len(records)} events, "
+        f"artifacts in {workdir})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

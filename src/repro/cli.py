@@ -331,6 +331,7 @@ def _cmd_serve(args) -> int:
         retune_budget=args.budget,
         warm=not args.cold,
         replay_speed=args.replay_speed,
+        checkpoint_path=args.checkpoint,
     )
     options = SelectorOptions(
         alpha=args.alpha, delta=args.delta, scheme=args.scheme,
@@ -359,8 +360,23 @@ def _cmd_serve(args) -> int:
     print(f"mode              : "
           f"{'warm' if config.warm else 'cold'} retunes, "
           f"window {config.window_size}, batch {config.batch_size}")
+    if report.prior_retunes:
+        print(f"resumed           : {len(report.prior_retunes)} "
+              f"retune(s) recovered from {args.checkpoint}")
     for i, outcome in enumerate(report.retunes):
-        label = "initial " if i == 0 else "retune  "
+        label = (
+            "initial " if i == 0 and not report.prior_retunes
+            else "retune  "
+        )
+        if outcome.failed:
+            kept = (
+                configs[outcome.chosen_index].name
+                if outcome.chosen_index is not None else "(none)"
+            )
+            print(f"{label}          : FAILED, kept {kept} "
+                  f"(calls {outcome.optimizer_calls}; "
+                  f"{outcome.error})")
+            continue
         extra = "" if outcome.accepted else "  [kept: low confidence]"
         print(f"{label}          : -> "
               f"{configs[outcome.chosen_index].name} "
@@ -377,6 +393,46 @@ def _cmd_serve(args) -> int:
         print(f"event log         : {args.events} "
               f"({len(events)} events)")
     return 0
+
+
+def _cmd_faults(args) -> int:
+    from .experiments.faults import (
+        format_resilience_report,
+        resilience_experiment,
+    )
+
+    rates = [float(r) for r in args.rates.split(",")]
+    report = resilience_experiment(
+        n_queries=args.size,
+        n_templates=args.templates,
+        k=args.k,
+        seed=args.seed,
+        rates=rates,
+        modes=tuple(args.modes.split(",")),
+        retries=args.retries,
+        failure_budget=args.failure_budget,
+    )
+    if args.json:
+        import json
+        from dataclasses import asdict
+
+        print(json.dumps({
+            "n_queries": report.n_queries,
+            "n_configs": report.n_configs,
+            "baseline_best": report.baseline_best,
+            "baseline_calls": report.baseline_calls,
+            "baseline_prcs": report.baseline_prcs,
+            "cases": [asdict(c) for c in report.cases],
+        }, indent=2, default=float))
+        return 0
+    print(format_resilience_report(report))
+    # Transient/slow cells must reproduce the baseline exactly; a
+    # non-zero exit makes the experiment usable as a CI check.
+    ok = all(
+        c.identical for c in report.cases
+        if c.completed and c.mode != "permanent"
+    )
+    return 0 if ok else 1
 
 
 def _cmd_explain(args) -> int:
@@ -531,12 +587,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable warm starts (cold-retune baseline)")
     p_srv.add_argument("--events", default=None,
                        help="write the JSONL event log to this path")
+    p_srv.add_argument("--checkpoint", default=None,
+                       help="service checkpoint path: state is saved "
+                            "here after every retune, and an existing "
+                            "checkpoint resumes the run mid-trace")
     p_srv.add_argument("--replay-speed", type=float, default=0.0,
                        help="replay rate in statements/second "
                             "(0 = as fast as possible)")
     p_srv.add_argument("--json", action="store_true",
                        help="emit a JSON report")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_flt = sub.add_parser(
+        "faults",
+        help="resilience experiment: selection under injected "
+             "optimizer faults",
+    )
+    p_flt.add_argument("--size", type=int, default=400,
+                       help="synthetic workload size (statements)")
+    p_flt.add_argument("--templates", type=int, default=16,
+                       help="number of synthetic templates")
+    p_flt.add_argument("--k", type=int, default=5,
+                       help="number of candidate configurations")
+    p_flt.add_argument("--seed", type=int, default=123,
+                       help="random seed (workload + fault set)")
+    p_flt.add_argument("--rates", default="0.01,0.1",
+                       help="comma-separated per-pair fault rates")
+    p_flt.add_argument("--modes", default="transient,slow,permanent",
+                       help="comma-separated fault modes to run")
+    p_flt.add_argument("--retries", type=int, default=3,
+                       help="retry budget per cost call")
+    p_flt.add_argument("--failure-budget", type=int, default=32,
+                       help="failed attempts before the source is "
+                            "declared exhausted (permanent mode)")
+    p_flt.add_argument("--json", action="store_true",
+                       help="emit a JSON report")
+    p_flt.set_defaults(func=_cmd_faults)
 
     p_exp = sub.add_parser(
         "explain", help="show a statement's plan (current vs ideal)"

@@ -10,6 +10,13 @@ procedure itself (:mod:`~repro.core.selector`).
 from .batching import BatchingComparison, BatchingResult
 from .allocation import pick_delta_stratum, pick_independent, \
     variance_reduction
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
+)
 from .estimators import (
     DeltaState,
     IndependentState,
@@ -35,6 +42,11 @@ from .stratification import (
 __all__ = [
     "BatchingComparison",
     "BatchingResult",
+    "CHECKPOINT_VERSION",
+    "load_checkpoint",
+    "restore_rng",
+    "rng_state",
+    "save_checkpoint",
     "pick_delta_stratum",
     "pick_independent",
     "variance_reduction",

@@ -139,6 +139,53 @@ class TemplateSampler:
         assert qidx is not None
         return qidx, tid
 
+    # ------------------------------------------------------------------
+    # checkpoint snapshot/restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serializable snapshot of every shuffle and cursor.
+
+        Unlike the warm-start export (which carries only costs and
+        lets a fresh run re-shuffle), the checkpoint snapshot pins the
+        exact permutations, so a resumed run draws the *same queries
+        in the same order* as the uninterrupted one.
+        """
+        return {
+            str(t): {
+                "order": [int(q) for q in order],
+                "cursor": int(self._cursor[t]),
+            }
+            for t, order in self._order.items()
+        }
+
+    def restore_state(self, payload: Dict[str, Dict[str, object]]) -> None:
+        """Inverse of :meth:`state_dict`.
+
+        The sampler must cover exactly the checkpointed templates
+        (same workload); anything else is a corrupt resume.
+        """
+        templates = {int(t) for t in payload}
+        if templates != set(self._order):
+            raise ValueError(
+                "checkpoint covers different templates than this "
+                "workload"
+            )
+        for key, entry in payload.items():
+            t = int(key)
+            order = np.asarray(entry["order"], dtype=np.int64)
+            if len(order) != len(self._order[t]):
+                raise ValueError(
+                    f"template {t} has {len(self._order[t])} queries, "
+                    f"checkpoint recorded {len(order)}"
+                )
+            cursor = int(entry["cursor"])
+            if not (0 <= cursor <= len(order)):
+                raise ValueError(
+                    f"template {t} cursor {cursor} out of range"
+                )
+            self._order[t] = order
+            self._cursor[t] = cursor
+
     def draw_many(
         self,
         templates: Sequence[int],
@@ -374,6 +421,62 @@ class IndependentState:
                                     strat)
 
     # ------------------------------------------------------------------
+    # checkpoint snapshot/restore (exact, including sampler shuffles)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable exact snapshot for mid-run checkpoints.
+
+        Captures the per-configuration sampler shuffles/cursors and
+        the raw Welford moments; :meth:`restore_state` reproduces the
+        state bit for bit (floats round-trip exactly through JSON's
+        shortest-repr encoding).
+        """
+        touched = [
+            t for t in range(self.n_templates)
+            if self.grid.count[:, t].any()
+        ]
+        return {
+            "samplers": [s.state_dict() for s in self.samplers],
+            "moments": {
+                str(t): [
+                    [
+                        int(self.grid.count[c, t]),
+                        float(self.grid.mean[c, t]),
+                        float(self.grid.m2[c, t]),
+                    ]
+                    for c in range(self.n_configs)
+                ]
+                for t in touched
+            },
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Inverse of :meth:`state_dict`; requires a fresh state."""
+        if self.grid.count.any():
+            raise RuntimeError(
+                "restore_state requires a state with no samples"
+            )
+        samplers = payload["samplers"]
+        if len(samplers) != self.n_configs:
+            raise ValueError(
+                f"checkpoint carries {len(samplers)} samplers for "
+                f"{self.n_configs} configurations"
+            )
+        for key, per_config in payload["moments"].items():
+            t = int(key)
+            if len(per_config) != self.n_configs:
+                raise ValueError(
+                    f"template {t} carries {len(per_config)} "
+                    f"configurations, expected {self.n_configs}"
+                )
+            for c, (count, mean, m2) in enumerate(per_config):
+                self.grid.count[c, t] = int(count)
+                self.grid.mean[c, t] = float(mean)
+                self.grid.m2[c, t] = float(m2)
+        for sampler, state in zip(self.samplers, samplers):
+            sampler.restore_state(state)
+
+    # ------------------------------------------------------------------
     # warm-start snapshot/restore
     # ------------------------------------------------------------------
     def export_moments(self) -> Dict[int, List[Tuple[int, float, float]]]:
@@ -585,6 +688,52 @@ class DeltaState:
             ),
             strat,
         )
+
+    # ------------------------------------------------------------------
+    # checkpoint snapshot/restore (exact, including sampler shuffle)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable exact snapshot for mid-run checkpoints.
+
+        Captures the shared sampler's shuffles/cursors plus the
+        aligned cost buffers.  :meth:`restore_state` replays the
+        buffers through the same per-cell Welford updates the original
+        ingestion performed — each grid cell sees its values in the
+        same order, so every accumulator is restored bit for bit; the
+        lazily rebuilt pairwise moments then reproduce identical
+        floats in both estimator modes.
+        """
+        return {
+            "sampler": self.sampler.state_dict(),
+            "values": {
+                str(t): [
+                    [float(x) for x in self.buffers.raw(c, t)]
+                    for c in range(self.n_configs)
+                ]
+                for t in sorted(self._touched)
+            },
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Inverse of :meth:`state_dict`; requires a fresh state."""
+        if self._touched:
+            raise RuntimeError(
+                "restore_state requires a state with no samples"
+            )
+        for key, per_config in payload["values"].items():
+            t = int(key)
+            if len(per_config) != self.n_configs:
+                raise ValueError(
+                    f"template {t} carries {len(per_config)} "
+                    f"configurations, expected {self.n_configs}"
+                )
+            for c, values in enumerate(per_config):
+                for v in values:
+                    v = float(v)
+                    self.grid.add(c, t, v)
+                    self.buffers.append(c, t, v)
+            self._touched.add(t)
+        self.sampler.restore_state(payload["sampler"])
 
     # ------------------------------------------------------------------
     # warm-start snapshot/restore

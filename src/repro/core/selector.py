@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,6 +40,12 @@ from .allocation import (
     batch_multiplier,
     pick_delta_stratum,
     variance_reduction_many,
+)
+from .checkpoint import (
+    load_checkpoint,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
 )
 from .estimators import DeltaState, IndependentState
 from .prcs import (
@@ -58,6 +64,16 @@ __all__ = [
     "SelectorState",
     "ConfigurationSelector",
 ]
+
+
+def _jsonify_options(options: "SelectorOptions") -> dict:
+    """Options as the plain dict a JSON checkpoint round-trips.
+
+    Every field is a scalar (int/float/str/None), all of which
+    round-trip exactly through JSON, so dict equality doubles as an
+    options-compatibility check on resume.
+    """
+    return asdict(options)
 
 
 class _NullTimer:
@@ -414,6 +430,17 @@ class ConfigurationSelector:
         instrumented as ``plan`` (allocation), ``draw`` (RNG draws),
         ``cost`` (cost-source evaluation), ``ingest`` (accumulator
         updates) and ``evaluate`` (estimates + PRCS).
+    checkpoint_path:
+        When given, the complete round state (estimators, sampler
+        shuffles, stratification, RNG, loop counters) is snapshotted
+        to this path between rounds (atomic ``os.replace`` publish).
+        A later selector over the same workload/options can
+        :meth:`resume` from it and finish the run **bit-identically**
+        to an uninterrupted one.  Snapshotting is a pure read of the
+        state — it consumes no randomness and changes no float — so
+        runs with and without a checkpoint path are identical.
+    checkpoint_every:
+        Snapshot every this many evaluation rounds (default 1).
     """
 
     def __init__(
@@ -425,9 +452,17 @@ class ConfigurationSelector:
         template_overheads: Optional[np.ndarray] = None,
         warm_state: Optional[SelectorState] = None,
         timer=None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
     ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.source = source
         self.options = options
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
         self._timer = timer if timer is not None else _NullTimer()
         self._round_mult = 1
         if warm_state is not None:
@@ -531,6 +566,95 @@ class ConfigurationSelector:
         if self.options.scheme == "delta":
             return self._run_delta()
         return self._run_independent()
+
+    def resume(self, path: Optional[str] = None) -> SelectionResult:
+        """Continue a checkpointed run to termination.
+
+        Loads the checkpoint at ``path`` (default: this selector's
+        ``checkpoint_path``), restores the complete round state —
+        estimator accumulators, sampler shuffles and cursors,
+        stratification, elimination set, PRCS history, RNG — and
+        re-enters the round loop.  The continuation is bit-identical
+        to the uninterrupted run: same draws, same floats, same
+        decisions (pinned by the golden-fixture resume tests).
+
+        The selector must be constructed over the same workload with
+        the same options as the checkpointing run; mismatches raise
+        ``ValueError``.  Spent optimizer calls are carried: budgets
+        and the ``(calls, Pr(CS))`` history continue from the
+        checkpointed counts whether this process's source already
+        performed those calls or starts fresh.
+        """
+        path = path if path is not None else self.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path to resume from")
+        payload = load_checkpoint(path)
+        if payload is None:
+            raise FileNotFoundError(f"no checkpoint at {path}")
+        if payload.get("kind") != "selector":
+            raise ValueError(
+                f"checkpoint {path} is not a selector checkpoint"
+            )
+        if payload["scheme"] != self.options.scheme:
+            raise ValueError(
+                f"checkpoint is for scheme {payload['scheme']!r}, "
+                f"options use {self.options.scheme!r}"
+            )
+        if int(payload["n_configs"]) != self.source.n_configs:
+            raise ValueError(
+                f"checkpoint carries {payload['n_configs']} "
+                f"configurations, source has {self.source.n_configs}"
+            )
+        if int(payload["n_queries"]) != self.source.n_queries:
+            raise ValueError(
+                f"checkpoint is over {payload['n_queries']} queries, "
+                f"source has {self.source.n_queries}"
+            )
+        recorded = payload.get("options")
+        if recorded != _jsonify_options(self.options):
+            raise ValueError(
+                "checkpoint was written under different selector "
+                "options; resuming would not be bit-identical"
+            )
+        if self.options.scheme == "delta":
+            return self._run_delta(resume=payload)
+        return self._run_independent(resume=payload)
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _checkpoint_due(self, round_idx: int) -> bool:
+        return (
+            self.checkpoint_path is not None
+            and round_idx % self.checkpoint_every == 0
+        )
+
+    def _checkpoint_common(self, round_idx: int, calls_used: int,
+                           active: Sequence[int],
+                           eliminated: Sequence[int], consec: int,
+                           history: Sequence[Tuple[int, float]]) -> dict:
+        """Scheme-independent part of a checkpoint payload.
+
+        Pure state read: captures the RNG without consuming it and
+        floats without transforming them, so writing a checkpoint can
+        never perturb the run it snapshots.
+        """
+        return {
+            "kind": "selector",
+            "scheme": self.options.scheme,
+            "n_configs": int(self.source.n_configs),
+            "n_queries": int(self.source.n_queries),
+            "options": _jsonify_options(self.options),
+            "rng": rng_state(self.rng),
+            "round": int(round_idx),
+            "calls_used": int(calls_used),
+            "carried_samples": int(self.carried_samples),
+            "round_mult": int(self._round_mult),
+            "active": [int(j) for j in active],
+            "eliminated": [int(j) for j in eliminated],
+            "consec": int(consec),
+            "history": [[int(c), float(p)] for c, p in history],
+        }
 
     def export_state(self) -> SelectorState:
         """Snapshot the estimator state of the completed (or
@@ -670,7 +794,7 @@ class ConfigurationSelector:
     # ------------------------------------------------------------------
     # Delta Sampling driver
     # ------------------------------------------------------------------
-    def _run_delta(self) -> SelectionResult:
+    def _run_delta(self, resume: Optional[dict] = None) -> SelectionResult:
         opts = self.options
         k = self.source.n_configs
         state = DeltaState(
@@ -678,35 +802,76 @@ class ConfigurationSelector:
             estimator=self._estimator_mode(),
         )
         self._delta_state = state
-        self._round_mult = 1
-        if self.warm_state is not None:
-            self.carried_samples = state.import_samples(
-                self.warm_state.values
+        if resume is not None:
+            # Restore overwrites the fresh shuffles and RNG state the
+            # construction above consumed; from here on every draw and
+            # every float matches the uninterrupted run.
+            state.restore_state(resume["state"])
+            restore_rng(self.rng, resume["rng"])
+            self.carried_samples = int(resume["carried_samples"])
+            self._round_mult = int(resume["round_mult"])
+            strat = Stratification(
+                [tuple(int(t) for t in g) for g in resume["strata"]],
+                self.template_sizes,
             )
-        strat = self._initial_stratification()
-        active = list(range(k))
-        eliminated: List[int] = []
-        start_calls = self.source.calls
+            active = [int(j) for j in resume["active"]]
+            eliminated = [int(j) for j in resume["eliminated"]]
+            consec = int(resume["consec"])
+            history = [
+                (int(c), float(p)) for c, p in resume["history"]
+            ]
+            strat_version = int(resume["strat_version"])
+            round_idx = int(resume["round"])
+            # Budget/history accounting continues from the recorded
+            # spend whether this process's source already made those
+            # calls or starts fresh (sampling is without replacement,
+            # so no checkpointed pair is ever re-requested).
+            start_calls = self.source.calls - int(resume["calls_used"])
+        else:
+            self._round_mult = 1
+            if self.warm_state is not None:
+                self.carried_samples = state.import_samples(
+                    self.warm_state.values
+                )
+            strat = self._initial_stratification()
+            active = list(range(k))
+            eliminated = []
+            consec = 0
+            history = []
+            strat_version = 0
+            round_idx = 0
+            start_calls = self.source.calls
         self._start_calls = start_calls
-        history: List[Tuple[int, float]] = []
-        consec = 0
         terminated_by = "exhausted"
 
         def calls_used() -> int:
             return self.source.calls - start_calls
 
-        # Pilot: n_min draws per stratum (shared across configurations).
-        self._delta_pilot(state, strat, active)
+        if resume is None:
+            # Pilot: n_min draws per stratum (shared across configs).
+            self._delta_pilot(state, strat, active)
 
         # Eliminated configurations stop sampling, so their aligned
         # difference moments against any configuration are frozen; cache
         # their pair estimates per (best, stratification) to keep large-k
-        # rounds cheap.
+        # rounds cheap.  (Rebuilt from frozen buffers on resume, so the
+        # recomputed entries are bit-identical.)
         pair_cache: Dict[int, Tuple[float, float]] = {}
         cache_key: Optional[Tuple[int, int]] = None
-        strat_version = 0
 
         while True:
+            if self._checkpoint_due(round_idx):
+                payload = self._checkpoint_common(
+                    round_idx, calls_used(), active, eliminated,
+                    consec, history,
+                )
+                payload["strata"] = [
+                    [int(t) for t in group] for group in strat.strata
+                ]
+                payload["strat_version"] = int(strat_version)
+                payload["state"] = state.state_dict()
+                save_checkpoint(self.checkpoint_path, payload)
+            round_idx += 1
             # --- evaluate ---
             with self._timer.phase("evaluate"):
                 totals = np.array(
@@ -1067,37 +1232,81 @@ class ConfigurationSelector:
     # ------------------------------------------------------------------
     # Independent Sampling driver
     # ------------------------------------------------------------------
-    def _run_independent(self) -> SelectionResult:
+    def _run_independent(
+        self, resume: Optional[dict] = None
+    ) -> SelectionResult:
         opts = self.options
         k = self.source.n_configs
         state = IndependentState(
             k, self.n_templates, self.indices_by_template, self.rng
         )
         self._independent_state = state
-        self._round_mult = 1
-        if self.warm_state is not None:
-            self.carried_samples = state.import_moments(
-                self.warm_state.moments
+        if resume is not None:
+            state.restore_state(resume["state"])
+            restore_rng(self.rng, resume["rng"])
+            self.carried_samples = int(resume["carried_samples"])
+            self._round_mult = int(resume["round_mult"])
+            strats = [
+                Stratification(
+                    [tuple(int(t) for t in g) for g in groups],
+                    self.template_sizes,
+                )
+                for groups in resume["strats"]
+            ]
+            active = [int(j) for j in resume["active"]]
+            eliminated = [int(j) for j in resume["eliminated"]]
+            consec = int(resume["consec"])
+            history = [
+                (int(c), float(p)) for c, p in resume["history"]
+            ]
+            last_sampled = (
+                None if resume["last_sampled"] is None
+                else int(resume["last_sampled"])
             )
-        strats: List[Stratification] = [
-            self._initial_stratification() for _ in range(k)
-        ]
-        active = list(range(k))
-        eliminated: List[int] = []
-        start_calls = self.source.calls
+            round_idx = int(resume["round"])
+            start_calls = self.source.calls - int(resume["calls_used"])
+        else:
+            self._round_mult = 1
+            if self.warm_state is not None:
+                self.carried_samples = state.import_moments(
+                    self.warm_state.moments
+                )
+            strats = [
+                self._initial_stratification() for _ in range(k)
+            ]
+            active = list(range(k))
+            eliminated = []
+            consec = 0
+            history = []
+            last_sampled = None
+            round_idx = 0
+            start_calls = self.source.calls
         self._start_calls = start_calls
-        history: List[Tuple[int, float]] = []
-        consec = 0
         terminated_by = "exhausted"
 
         def calls_used() -> int:
             return self.source.calls - start_calls
 
-        for c in range(k):
-            self._independent_pilot(state, strats[c], c)
+        if resume is None:
+            for c in range(k):
+                self._independent_pilot(state, strats[c], c)
 
-        last_sampled: Optional[int] = None
         while True:
+            if self._checkpoint_due(round_idx):
+                payload = self._checkpoint_common(
+                    round_idx, calls_used(), active, eliminated,
+                    consec, history,
+                )
+                payload["strats"] = [
+                    [[int(t) for t in group] for group in s.strata]
+                    for s in strats
+                ]
+                payload["last_sampled"] = (
+                    None if last_sampled is None else int(last_sampled)
+                )
+                payload["state"] = state.state_dict()
+                save_checkpoint(self.checkpoint_path, payload)
+            round_idx += 1
             with self._timer.phase("evaluate"):
                 ests = [state.estimate(c, strats[c]) for c in range(k)]
                 totals = np.array([e[0] for e in ests])

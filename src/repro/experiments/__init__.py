@@ -21,7 +21,14 @@ from .calibration import (
     CalibrationReport,
     measure_calibration,
 )
+from .faults import (
+    ResilienceCase,
+    ResilienceReport,
+    format_resilience_report,
+    resilience_experiment,
+)
 from .parallel import (
+    ChunkFailure,
     multi_config_table as parallel_multi_config_table,
     prcs_curve as parallel_prcs_curve,
     resolve_workers,
@@ -63,6 +70,11 @@ __all__ = [
     "CalibrationBucket",
     "CalibrationReport",
     "measure_calibration",
+    "ChunkFailure",
+    "ResilienceCase",
+    "ResilienceReport",
+    "format_resilience_report",
+    "resilience_experiment",
     "parallel_multi_config_table",
     "parallel_prcs_curve",
     "resolve_workers",

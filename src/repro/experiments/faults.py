@@ -1,0 +1,266 @@
+"""Resilience experiment: selection under an unreliable optimizer.
+
+The paper's cost model assumes every ``Cost(q, C)`` call returns; a
+real what-if interface times out, drops connections, and occasionally
+refuses a plan outright.  This experiment measures what the
+fault-tolerance layer (:mod:`repro.faults`) costs and guarantees:
+
+* a **baseline** selection against a clean synthetic matrix;
+* one run per ``mode x rate`` cell with deterministic injected faults
+  (:class:`~repro.faults.InjectedFaultCostSource`) behind the retry
+  wrapper (:class:`~repro.faults.ResilientCostSource`).
+
+Because retries that eventually succeed return the exact same values
+and never touch the selector's RNG, every completed faulty run must
+reproduce the baseline *bit-identically* — same final configuration,
+same estimates, and (distinct-pair accounting) the same optimizer-call
+count.  The experiment reports that invariant plus the overhead paid
+for it: retry counts and simulated backoff seconds.  ``permanent``
+mode demonstrates the other side of the contract — the failure budget
+exhausts and the run dies with a precise
+:class:`~repro.faults.CostSourceExhausted` instead of hanging.
+
+All timing is simulated through a :class:`~repro.faults.FakeClock`;
+the experiment never sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.selector import (
+    ConfigurationSelector,
+    SelectionResult,
+    SelectorOptions,
+)
+from ..core.sources import MatrixCostSource
+from ..faults import (
+    CostSourceExhausted,
+    FakeClock,
+    FaultPolicy,
+    InjectedFaultCostSource,
+    ResilientCostSource,
+)
+from .report import format_kv, format_table
+
+__all__ = [
+    "ResilienceCase",
+    "ResilienceReport",
+    "resilience_experiment",
+    "format_resilience_report",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceCase:
+    """One ``mode x rate`` cell of the resilience experiment."""
+
+    mode: str
+    rate: float
+    completed: bool
+    exhausted: bool
+    #: Completed runs only: did every result field match the baseline
+    #: bit for bit (best index, estimates, call count)?
+    identical: bool
+    best_index: Optional[int]
+    distinct_calls: int
+    faults_injected: int
+    retries: int
+    transient_failures: int
+    timeouts: int
+    permanent_failures: int
+    salvaged_batches: int
+    salvaged_values: int
+    backoff_seconds: float
+    error: Optional[str] = None
+
+
+@dataclass
+class ResilienceReport:
+    """Baseline facts plus every injected-fault cell."""
+
+    n_queries: int
+    n_configs: int
+    baseline_best: int
+    baseline_calls: int
+    baseline_prcs: float
+    cases: List[ResilienceCase]
+
+
+def _synthetic_workload(
+    n_queries: int, n_templates: int, k: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A template-structured cost matrix (same family as the tests)."""
+    rng = np.random.default_rng(seed)
+    template_ids = np.sort(rng.integers(0, n_templates, size=n_queries))
+    base = rng.lognormal(mean=2.0, sigma=0.6, size=n_queries)
+    effect = rng.uniform(0.7, 1.3, size=(n_templates, k))
+    noise = rng.lognormal(mean=0.0, sigma=0.05, size=(n_queries, k))
+    matrix = base[:, None] * effect[template_ids] * noise
+    return matrix, template_ids
+
+
+def _result_matches(a: SelectionResult, b: SelectionResult) -> bool:
+    return (
+        a.best_index == b.best_index
+        and a.terminated_by == b.terminated_by
+        and a.optimizer_calls == b.optimizer_calls
+        and np.array_equal(
+            np.asarray(a.estimates), np.asarray(b.estimates)
+        )
+    )
+
+
+def resilience_experiment(
+    n_queries: int = 400,
+    n_templates: int = 16,
+    k: int = 5,
+    seed: int = 123,
+    rates: Sequence[float] = (0.01, 0.1),
+    modes: Sequence[str] = ("transient", "slow", "permanent"),
+    retries: int = 3,
+    failure_budget: int = 32,
+    options: Optional[SelectorOptions] = None,
+) -> ResilienceReport:
+    """Run the baseline and the full ``mode x rate`` injection grid.
+
+    ``failure_budget`` only binds in ``permanent`` mode (transient and
+    slow faults recover within ``retries``); it is what turns an
+    unrecoverable optimizer into a prompt, attributable failure.
+    """
+    if options is None:
+        options = SelectorOptions(
+            alpha=0.9,
+            scheme="delta",
+            stratify="progressive",
+            n_min=8,
+            consecutive=3,
+            eliminate=True,
+            reeval_every=2,
+        )
+    matrix, template_ids = _synthetic_workload(
+        n_queries, n_templates, k, seed
+    )
+
+    def _select(source) -> SelectionResult:
+        selector = ConfigurationSelector(
+            source,
+            template_ids,
+            options,
+            rng=np.random.default_rng(seed),
+        )
+        return selector.run()
+
+    baseline_source = MatrixCostSource(matrix)
+    baseline = _select(baseline_source)
+
+    cases: List[ResilienceCase] = []
+    for mode in modes:
+        for rate in rates:
+            clock = FakeClock()
+            inner = MatrixCostSource(matrix)
+            injected = InjectedFaultCostSource(
+                inner,
+                rate=rate,
+                mode=mode,
+                seed=seed + 1,
+                fail_attempts=1,
+                slow_seconds=5.0 if mode == "slow" else 0.0,
+                clock=clock,
+            )
+            policy = FaultPolicy(
+                retries=retries,
+                backoff_base=0.05,
+                timeout=1.0 if mode == "slow" else None,
+                failure_budget=(
+                    failure_budget if mode == "permanent" else None
+                ),
+                seed=seed,
+            )
+            resilient = ResilientCostSource(
+                injected, policy, sleep=clock.sleep, clock=clock
+            )
+            completed = True
+            error = None
+            result: Optional[SelectionResult] = None
+            try:
+                result = _select(resilient)
+            except CostSourceExhausted as exc:
+                completed = False
+                error = str(exc)
+            stats = resilient.fault_stats()
+            cases.append(
+                ResilienceCase(
+                    mode=mode,
+                    rate=float(rate),
+                    completed=completed,
+                    exhausted=not completed,
+                    identical=(
+                        completed and _result_matches(result, baseline)
+                    ),
+                    best_index=(
+                        None if result is None else result.best_index
+                    ),
+                    distinct_calls=inner.calls,
+                    faults_injected=injected.injected,
+                    retries=stats["retries_total"],
+                    transient_failures=stats["transient_failures"],
+                    timeouts=stats["timeouts"],
+                    permanent_failures=stats["permanent_failures"],
+                    salvaged_batches=stats["salvaged_batches"],
+                    salvaged_values=stats["salvaged_values"],
+                    backoff_seconds=stats["backoff_seconds"],
+                    error=error,
+                )
+            )
+    return ResilienceReport(
+        n_queries=n_queries,
+        n_configs=k,
+        baseline_best=baseline.best_index,
+        baseline_calls=baseline.optimizer_calls,
+        baseline_prcs=baseline.prcs,
+        cases=cases,
+    )
+
+
+def format_resilience_report(report: ResilienceReport) -> str:
+    """Plain-text rendering of a :class:`ResilienceReport`."""
+    header = format_kv(
+        {
+            "workload": f"{report.n_queries} queries, "
+                        f"{report.n_configs} configurations",
+            "baseline best": report.baseline_best,
+            "baseline optimizer calls": report.baseline_calls,
+            "baseline Pr(CS)": f"{report.baseline_prcs:.3f}",
+        },
+        title="Resilience experiment (injected optimizer faults)",
+    )
+    rows = []
+    for c in report.cases:
+        rows.append(
+            [
+                c.mode,
+                f"{c.rate:.2f}",
+                "yes" if c.completed else "EXHAUSTED",
+                ("yes" if c.identical else "-") if c.completed else "-",
+                c.distinct_calls,
+                f"{c.distinct_calls / report.baseline_calls:.3f}",
+                c.faults_injected,
+                c.retries,
+                c.timeouts,
+                c.salvaged_batches,
+                f"{c.backoff_seconds:.2f}",
+            ]
+        )
+    table = format_table(
+        [
+            "mode", "rate", "completed", "bit-identical", "calls",
+            "calls/base", "faults", "retries", "timeouts",
+            "salvaged", "backoff s",
+        ],
+        rows,
+    )
+    return header + "\n\n" + table

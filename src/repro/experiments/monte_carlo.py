@@ -256,13 +256,20 @@ def prcs_curve(
     for b_idx, budget in enumerate(budgets):
         correct = 0
         for trial in range(trials):
-            rng = np.random.default_rng(
-                _curve_trial_seed(seed, b_idx, trial)
-            )
-            chosen = select_fixed_budget(
-                matrix, template_ids, spec, budget, rng, n_min=n_min,
-                reeval_every=reeval_every, batch_rounds=batch_rounds,
-            )
+            trial_seed = _curve_trial_seed(seed, b_idx, trial)
+            rng = np.random.default_rng(trial_seed)
+            try:
+                chosen = select_fixed_budget(
+                    matrix, template_ids, spec, budget, rng,
+                    n_min=n_min, reeval_every=reeval_every,
+                    batch_rounds=batch_rounds,
+                )
+            except Exception as exc:
+                raise RuntimeError(
+                    f"prcs_curve trial failed (budget={budget}, "
+                    f"b_idx={b_idx}, trial={trial}, "
+                    f"trial_seed={trial_seed})"
+                ) from exc
             if _is_correct(totals, chosen, delta):
                 correct += 1
         fractions[b_idx] = correct / trials
@@ -418,12 +425,19 @@ def multi_config_table(
     totals = matrix.sum(axis=0)
     template_ids = np.asarray(template_ids, dtype=np.int64)
     groups_map = _template_groups(template_ids)
-    records = [
-        _table_trial(
-            matrix, template_ids, groups_map, trial, seed,
-            alpha, delta, n_min, consecutive, reeval_every,
-            batch_rounds=batch_rounds,
-        )
-        for trial in range(trials)
-    ]
+    records = []
+    for trial in range(trials):
+        try:
+            records.append(
+                _table_trial(
+                    matrix, template_ids, groups_map, trial, seed,
+                    alpha, delta, n_min, consecutive, reeval_every,
+                    batch_rounds=batch_rounds,
+                )
+            )
+        except Exception as exc:
+            raise RuntimeError(
+                f"multi_config_table trial failed (trial={trial}, "
+                f"trial_seed={_table_trial_seed(seed, trial)})"
+            ) from exc
     return _reduce_table_records(totals, records, trials, delta)

@@ -20,6 +20,15 @@ Worker count resolution: an explicit ``workers`` argument wins, then
 the ``REPRO_WORKERS`` environment variable; ``0`` or negative means
 "all CPUs".  The default (unset) is 1, i.e. the serial path.
 
+**Fault containment**: chunks are submitted as individual futures, so
+one worker dying (OOM kill, segfault — surfacing as
+``BrokenProcessPool``) or raising no longer discards every completed
+chunk.  Completed results are kept; each failed chunk is retried once
+*serially in the parent* (trials are deterministic in ``(seed, trial)``,
+so the retry computes the identical record); a chunk that fails twice
+raises :class:`ChunkFailure` naming the exact trials and seed, instead
+of a bare pool traceback.
+
 For *new* experiments that need independent streams without a legacy
 stream to replay, :func:`spawn_trial_rngs` derives per-trial generators
 via ``np.random.SeedSequence.spawn`` — statistically independent by
@@ -30,7 +39,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,11 +57,31 @@ from .monte_carlo import (
 )
 
 __all__ = [
+    "ChunkFailure",
     "resolve_workers",
     "spawn_trial_rngs",
     "prcs_curve",
     "multi_config_table",
 ]
+
+
+class ChunkFailure(RuntimeError):
+    """A pool chunk failed in the worker *and* in the serial retry.
+
+    Carries enough context to reproduce the failing trials directly:
+    ``description`` names the chunk (trial indices and seed) and
+    ``pool_error`` preserves what the worker reported before the
+    serial retry also failed (the retry's error is the ``__cause__``).
+    """
+
+    def __init__(self, description: str, pool_error: BaseException) -> None:
+        super().__init__(
+            f"{description}: failed in worker "
+            f"({type(pool_error).__name__}: {pool_error}) and in the "
+            f"serial retry"
+        )
+        self.description = description
+        self.pool_error = pool_error
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -140,6 +169,53 @@ def _table_chunk(args: Tuple) -> List[Tuple[int, Dict]]:
     ]
 
 
+def _run_chunks(
+    fn: Callable,
+    payloads: Sequence,
+    describe: Callable[[int], str],
+    workers: int,
+    init_args: Tuple,
+) -> List:
+    """Run chunk payloads over a process pool; salvage failures.
+
+    Every payload is submitted as its own future, so a worker raising
+    (or the pool breaking under a killed worker) costs only the chunks
+    that actually failed — completed results are kept.  Failed chunks
+    are retried once serially in the parent, which first runs the
+    worker initializer locally so chunk functions find their
+    ``_STATE``; trials are seed-deterministic, so a successful retry
+    is bit-identical to what the worker would have returned.  A chunk
+    failing twice raises :class:`ChunkFailure` with ``describe(i)``
+    naming its trials.
+
+    Returns results in payload order.
+    """
+    results: List = [None] * len(payloads)
+    failed: List[Tuple[int, BaseException]] = []
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=init_args,
+    ) as pool:
+        futures = [
+            (i, pool.submit(fn, payload))
+            for i, payload in enumerate(payloads)
+        ]
+        for i, future in futures:
+            try:
+                results[i] = future.result()
+            except Exception as exc:
+                failed.append((i, exc))
+    if failed:
+        _init_worker(*init_args)
+        for i, pool_error in failed:
+            try:
+                results[i] = fn(payloads[i])
+            except Exception as exc:
+                raise ChunkFailure(describe(i), pool_error) from exc
+    return results
+
+
 # ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
@@ -183,15 +259,21 @@ def prcs_curve(
     ]
     totals = matrix.sum(axis=0)
     correct = np.zeros(len(budgets), dtype=np.int64)
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(matrix, template_ids),
-    ) as pool:
-        for chunk_result in pool.map(_curve_chunk, payloads):
-            for b_idx, _trial, chosen in chunk_result:
-                if _is_correct(totals, chosen, delta):
-                    correct[b_idx] += 1
+
+    def _describe(i: int) -> str:
+        chunk = payloads[i][-1]
+        return (
+            f"prcs_curve chunk {i} (seed={seed}, "
+            f"budget/trial pairs {chunk[0]}..{chunk[-1]})"
+        )
+
+    for chunk_result in _run_chunks(
+        _curve_chunk, payloads, _describe, workers,
+        (matrix, template_ids),
+    ):
+        for b_idx, _trial, chosen in chunk_result:
+            if _is_correct(totals, chosen, delta):
+                correct[b_idx] += 1
     return correct / trials
 
 
@@ -232,13 +314,19 @@ def multi_config_table(
         )
     ]
     records: List[Optional[Dict]] = [None] * trials
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(matrix, template_ids),
-    ) as pool:
-        for chunk_result in pool.map(_table_chunk, payloads):
-            for trial, record in chunk_result:
-                records[trial] = record
+
+    def _describe(i: int) -> str:
+        chunk = payloads[i][-1]
+        return (
+            f"multi_config_table chunk {i} (seed={seed}, "
+            f"trials {chunk[0]}..{chunk[-1]})"
+        )
+
+    for chunk_result in _run_chunks(
+        _table_chunk, payloads, _describe, workers,
+        (matrix, template_ids),
+    ):
+        for trial, record in chunk_result:
+            records[trial] = record
     totals = matrix.sum(axis=0)
     return _reduce_table_records(totals, records, trials, delta)

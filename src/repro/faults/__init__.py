@@ -1,0 +1,46 @@
+"""Fault tolerance for the cost path.
+
+The paper's comparison primitive spends almost all of its time inside
+what-if optimizer calls; real optimizer backends time out and fail
+routinely.  This package keeps those failures from discarding the
+accumulated sample — the costliest asset the selection procedure has:
+
+* :class:`FaultPolicy` — declarative retry/backoff/timeout/budget
+  policy for cost-source calls.
+* :class:`ResilientCostSource` — a :class:`~repro.core.sources.CostSource`
+  wrapper implementing the policy for both :meth:`cost` and
+  :meth:`cost_many` (partial-batch salvage: successful entries are
+  kept, only failed pairs are retried).
+* :class:`InjectedFaultCostSource` — deterministic, seed-driven fault
+  injection (transient / permanent / slow-call modes) for tests and
+  the resilience experiment (:mod:`repro.experiments.faults`).
+
+With no faults firing, the wrapper is fully transparent: values,
+evaluation order and distinct-call accounting are bit-identical to the
+unwrapped source, so every selection decision is unchanged.
+"""
+
+from .injection import FakeClock, InjectedFaultCostSource
+from .policy import (
+    BatchCostError,
+    CostSourceError,
+    CostSourceExhausted,
+    CostTimeoutError,
+    FaultPolicy,
+    PermanentCostError,
+    TransientCostError,
+)
+from .resilient import ResilientCostSource
+
+__all__ = [
+    "FaultPolicy",
+    "CostSourceError",
+    "TransientCostError",
+    "PermanentCostError",
+    "CostTimeoutError",
+    "BatchCostError",
+    "CostSourceExhausted",
+    "ResilientCostSource",
+    "InjectedFaultCostSource",
+    "FakeClock",
+]

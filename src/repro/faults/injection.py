@@ -1,0 +1,216 @@
+"""Deterministic, seed-driven fault injection for cost sources.
+
+:class:`InjectedFaultCostSource` wraps any
+:class:`~repro.core.sources.CostSource` and makes a deterministic
+subset of (query, configuration) pairs misbehave.  Whether a pair is
+faulty is decided by ``default_rng((seed, q, c))`` — a pure function
+of the pair, independent of evaluation order — so the same seed
+injects the same faults no matter how the selector batches its draws.
+
+Three modes:
+
+``"transient"``
+    The first ``fail_attempts`` attempts on a faulty pair raise
+    :class:`~repro.faults.policy.TransientCostError` *before* reaching
+    the inner source; later attempts succeed.  Because failed attempts
+    never touch the inner source, call counts stay at parity with a
+    no-fault run whenever retries eventually succeed.
+``"permanent"``
+    Faulty pairs always raise
+    :class:`~repro.faults.policy.PermanentCostError`.
+``"slow"``
+    Faulty pairs succeed but advance the injected clock by
+    ``slow_seconds`` for their first ``fail_attempts`` attempts — the
+    wrapper's cooperative timeout then discards and retries them.
+
+The :class:`FakeClock` stands in for ``time.monotonic``/``time.sleep``
+so timeout and backoff behavior is testable without real waiting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.sources import CostSource, _as_pairs
+from .policy import (
+    BatchCostError,
+    CostSourceError,
+    PermanentCostError,
+    TransientCostError,
+)
+
+__all__ = ["FakeClock", "InjectedFaultCostSource"]
+
+_MODES = ("transient", "permanent", "slow")
+
+
+class FakeClock:
+    """A manually advanced monotonic clock.
+
+    Callable (returns the current time) so it drops in for
+    ``time.monotonic``; :meth:`sleep` drops in for ``time.sleep`` and
+    advances the clock instead of waiting.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}")
+        self.now += float(seconds)
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(0.0, seconds))
+
+
+class InjectedFaultCostSource(CostSource):
+    """Wrap a cost source with deterministic injected faults.
+
+    Parameters
+    ----------
+    inner:
+        The real source; only non-faulty attempts reach it.
+    rate:
+        Probability that a pair is faulty (per pair, not per call).
+    mode:
+        ``"transient"``, ``"permanent"`` or ``"slow"``.
+    seed:
+        Drives the per-pair fault decision.
+    fail_attempts:
+        How many attempts on a faulty pair misbehave before it starts
+        succeeding (ignored in ``"permanent"`` mode).
+    slow_seconds:
+        Clock advance per slow attempt (``"slow"`` mode).
+    clock:
+        The :class:`FakeClock` slow calls advance; required in
+        ``"slow"`` mode.
+    """
+
+    def __init__(
+        self,
+        inner: CostSource,
+        rate: float,
+        mode: str = "transient",
+        seed: int = 0,
+        fail_attempts: int = 1,
+        slow_seconds: float = 0.0,
+        clock: Optional[FakeClock] = None,
+    ) -> None:
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if mode not in _MODES:
+            raise ValueError(
+                f"unknown fault mode {mode!r}; expected one of {_MODES}"
+            )
+        if fail_attempts < 1:
+            raise ValueError(
+                f"fail_attempts must be >= 1, got {fail_attempts}"
+            )
+        if mode == "slow" and clock is None:
+            raise ValueError("slow mode needs a clock to advance")
+        self.inner = inner
+        self.rate = rate
+        self.mode = mode
+        self.seed = seed
+        self.fail_attempts = fail_attempts
+        self.slow_seconds = float(slow_seconds)
+        self.clock = clock
+        self._faulty: Dict[Tuple[int, int], bool] = {}
+        self._attempts: Dict[Tuple[int, int], int] = {}
+        #: Faults actually raised (or slow calls served), by pair.
+        self.injected = 0
+
+    # -- CostSource surface -------------------------------------------
+    @property
+    def n_queries(self) -> int:
+        return self.inner.n_queries
+
+    @property
+    def n_configs(self) -> int:
+        return self.inner.n_configs
+
+    @property
+    def calls(self) -> int:
+        return self.inner.calls
+
+    def __getattr__(self, name: str):
+        # Proxy everything else (true_best, reset_calls, close, ...)
+        # so the injector is drop-in for the raw source.
+        return getattr(self.inner, name)
+
+    # -- fault machinery ----------------------------------------------
+    def is_faulty(self, query_idx: int, config_idx: int) -> bool:
+        """Whether a pair is in the injected fault set.
+
+        Memoized pure function of ``(seed, query, config)``; the
+        evaluation order can never change which pairs fail.
+        """
+        key = (int(query_idx), int(config_idx))
+        hit = self._faulty.get(key)
+        if hit is None:
+            hit = bool(
+                np.random.default_rng((self.seed,) + key).random()
+                < self.rate
+            )
+            self._faulty[key] = hit
+        return hit
+
+    def _attempt(self, key: Tuple[int, int]) -> Optional[CostSourceError]:
+        """Register one attempt on a faulty pair; return its failure
+        (``None`` when the attempt should succeed)."""
+        attempt = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempt
+        if self.mode == "permanent":
+            self.injected += 1
+            return PermanentCostError(
+                f"injected permanent fault at pair {key}"
+            )
+        if attempt > self.fail_attempts:
+            return None
+        self.injected += 1
+        if self.mode == "transient":
+            return TransientCostError(
+                f"injected transient fault at pair {key} "
+                f"(attempt {attempt}/{self.fail_attempts})"
+            )
+        # slow: succeed, but burn wall-clock.
+        self.clock.advance(self.slow_seconds)
+        return None
+
+    # -- evaluation ----------------------------------------------------
+    def cost(self, query_idx: int, config_idx: int) -> float:
+        if self.is_faulty(query_idx, config_idx):
+            failure = self._attempt((int(query_idx), int(config_idx)))
+            if failure is not None:
+                raise failure
+        return self.inner.cost(query_idx, config_idx)
+
+    def cost_many(self, pairs) -> np.ndarray:
+        pairs = _as_pairs(pairs)
+        failures: Dict[int, CostSourceError] = {}
+        for i, (q, c) in enumerate(pairs):
+            if not self.is_faulty(int(q), int(c)):
+                continue
+            failure = self._attempt((int(q), int(c)))
+            if failure is not None:
+                failures[i] = failure
+        ok = np.ones(len(pairs), dtype=bool)
+        values = np.zeros(len(pairs), dtype=np.float64)
+        if failures:
+            for i in failures:
+                ok[i] = False
+            if ok.any():
+                values[ok] = self.inner.cost_many(pairs[ok])
+            raise BatchCostError(
+                f"{len(failures)} of {len(pairs)} batch entries failed",
+                values=values,
+                ok=ok,
+                failures=failures,
+            )
+        return self.inner.cost_many(pairs)

@@ -1,0 +1,185 @@
+"""Fault policy and the cost-source exception hierarchy.
+
+The policy is declarative: how many retries a failing call gets, how
+backoff between attempts grows, when a call counts as timed out, and
+how many failed attempts the source tolerates in total before the
+circuit opens.  :class:`~repro.faults.resilient.ResilientCostSource`
+interprets it; cost sources (and the fault injector) raise the
+exceptions defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "FaultPolicy",
+    "CostSourceError",
+    "TransientCostError",
+    "PermanentCostError",
+    "CostTimeoutError",
+    "BatchCostError",
+    "CostSourceExhausted",
+]
+
+
+class CostSourceError(RuntimeError):
+    """Base class of all cost-source failures."""
+
+
+class TransientCostError(CostSourceError):
+    """A failure that may succeed on retry (network blip, lock
+    timeout, optimizer restart)."""
+
+
+class PermanentCostError(CostSourceError):
+    """A failure retrying cannot fix (malformed query, dropped
+    object); the wrapper fails fast instead of burning retries."""
+
+
+class CostTimeoutError(TransientCostError):
+    """A call exceeded the policy's per-call timeout.
+
+    Timeouts are cooperative: the wrapper measures elapsed time around
+    the call and discards over-budget results, it does not interrupt
+    the callee.  Timed-out calls are retried like any transient
+    failure.
+    """
+
+
+class BatchCostError(CostSourceError):
+    """A ``cost_many`` batch failed partially.
+
+    Carries everything the wrapper needs for partial-batch salvage:
+    the values of the entries that *did* succeed, a boolean mask over
+    the batch, and the per-index failures.  Successful entries are
+    kept; only failed pairs are retried.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        values: np.ndarray,
+        ok: np.ndarray,
+        failures: Dict[int, CostSourceError],
+    ) -> None:
+        super().__init__(message)
+        #: Batch-aligned values; entries where ``ok`` is False are
+        #: undefined.
+        self.values = values
+        #: Boolean mask over the batch: True = value is valid.
+        self.ok = ok
+        #: ``batch index -> exception`` for every failed entry.
+        self.failures = failures
+
+
+class CostSourceExhausted(CostSourceError):
+    """A call failed permanently: retries exhausted, a permanent
+    fault, or the source's failure budget spent.
+
+    Carries the pair and attempt count so operators can see *which*
+    evaluation died, not just that one did.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        query_idx: Optional[int] = None,
+        config_idx: Optional[int] = None,
+        attempts: int = 0,
+        last_error: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(message)
+        self.query_idx = query_idx
+        self.config_idx = config_idx
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry/backoff/timeout policy for cost-source calls.
+
+    Attributes
+    ----------
+    retries:
+        Extra attempts after the first failure (``3`` means up to 4
+        calls total).
+    backoff_base:
+        Sleep before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied per subsequent retry (exponential backoff).
+    backoff_max:
+        Upper clamp on any single sleep.
+    jitter:
+        Fraction of each sleep randomized (``0.1`` = +-10%).  The
+        jitter stream is seeded by ``seed``, so two runs of the same
+        policy sleep identically — backoff is part of the reproducible
+        record, not noise.
+    timeout:
+        Cooperative per-call wall-clock budget in seconds; ``None``
+        disables timeout detection.  Batches get ``timeout * len``.
+    failure_budget:
+        Total failed attempts the source tolerates over its lifetime
+        before every call raises :class:`CostSourceExhausted`
+        (a circuit breaker against a fully degraded backend);
+        ``None`` = unbounded.
+    seed:
+        Seed of the deterministic jitter stream.
+    """
+
+    retries: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.1
+    timeout: Optional[float] = None
+    failure_budget: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise ValueError(
+                f"backoff_max must be >= 0, got {self.backoff_max}"
+            )
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive, got {self.timeout}"
+            )
+        if self.failure_budget is not None and self.failure_budget < 1:
+            raise ValueError(
+                f"failure_budget must be >= 1, got {self.failure_budget}"
+            )
+
+    def backoff(self, retry_index: int, rng: np.random.Generator) -> float:
+        """Sleep before retry ``retry_index`` (0-based), jittered.
+
+        Deterministic given the policy seed and the retry sequence:
+        the caller owns one jitter generator per wrapped source and
+        feeds every backoff through it in order.
+        """
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** retry_index,
+        )
+        if self.jitter <= 0 or base <= 0:
+            return base
+        spread = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return base * spread

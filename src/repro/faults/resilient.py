@@ -1,0 +1,228 @@
+"""Retrying cost-source wrapper implementing a :class:`FaultPolicy`.
+
+Every scalar call gets up to ``retries`` extra attempts with jittered
+exponential backoff; calls exceeding the cooperative timeout are
+discarded and retried like transient failures.  Batch calls salvage
+partial results: entries a :class:`BatchCostError` marks as successful
+are kept, and only the failed pairs re-run through the scalar retry
+path — the accumulated sample is never thrown away because one pair
+misbehaved.
+
+With no faults firing the wrapper is a pass-through: values,
+evaluation order and distinct-call accounting are bit-identical to the
+unwrapped source.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.sources import CostSource, _as_pairs
+from .policy import (
+    BatchCostError,
+    CostSourceError,
+    CostSourceExhausted,
+    CostTimeoutError,
+    FaultPolicy,
+    PermanentCostError,
+)
+
+__all__ = ["ResilientCostSource"]
+
+
+class ResilientCostSource(CostSource):
+    """Apply a :class:`FaultPolicy` around any cost source.
+
+    Parameters
+    ----------
+    source:
+        The wrapped source (possibly an
+        :class:`~repro.faults.injection.InjectedFaultCostSource`).
+    policy:
+        Retry/backoff/timeout/budget policy.
+    sleep / clock:
+        Injection points for backoff sleeping and elapsed-time
+        measurement; tests pass a
+        :class:`~repro.faults.injection.FakeClock` for both so no real
+        time passes.
+    """
+
+    def __init__(
+        self,
+        source: CostSource,
+        policy: FaultPolicy = FaultPolicy(),
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.source = source
+        self.policy = policy
+        self._sleep = sleep
+        self._clock = clock
+        self._jitter_rng = np.random.default_rng((policy.seed,))
+        self._failed_attempts = 0
+        #: Observability counters, exposed via :meth:`fault_stats`.
+        self.retries_total = 0
+        self.transient_failures = 0
+        self.timeouts = 0
+        self.permanent_failures = 0
+        self.salvaged_batches = 0
+        self.salvaged_values = 0
+        self.fallback_pairs = 0
+        self.slow_batches = 0
+        self.backoff_seconds = 0.0
+
+    # -- CostSource surface -------------------------------------------
+    @property
+    def n_queries(self) -> int:
+        return self.source.n_queries
+
+    @property
+    def n_configs(self) -> int:
+        return self.source.n_configs
+
+    @property
+    def calls(self) -> int:
+        return self.source.calls
+
+    def __getattr__(self, name: str):
+        # Transparent proxy for source-specific extras (true_best,
+        # reset_calls, close, install_cost hooks, ...).
+        return getattr(self.source, name)
+
+    def fault_stats(self) -> Dict[str, float]:
+        """Counters describing what the policy had to absorb."""
+        return {
+            "retries_total": self.retries_total,
+            "transient_failures": self.transient_failures,
+            "timeouts": self.timeouts,
+            "permanent_failures": self.permanent_failures,
+            "salvaged_batches": self.salvaged_batches,
+            "salvaged_values": self.salvaged_values,
+            "fallback_pairs": self.fallback_pairs,
+            "slow_batches": self.slow_batches,
+            "backoff_seconds": self.backoff_seconds,
+            "failed_attempts": self._failed_attempts,
+        }
+
+    # -- retry machinery ----------------------------------------------
+    def _spend_failure(self, q: int, c: int, attempts: int,
+                       error: BaseException) -> None:
+        """Count one failed attempt against the failure budget."""
+        self._failed_attempts += 1
+        budget = self.policy.failure_budget
+        if budget is not None and self._failed_attempts >= budget:
+            raise CostSourceExhausted(
+                f"failure budget of {budget} attempts spent "
+                f"(last failure at pair ({q}, {c}))",
+                query_idx=q,
+                config_idx=c,
+                attempts=attempts,
+                last_error=error,
+            ) from error
+
+    def _backoff(self, retry_index: int) -> None:
+        delay = self.policy.backoff(retry_index, self._jitter_rng)
+        if delay > 0:
+            self.backoff_seconds += delay
+            self._sleep(delay)
+
+    def cost(self, query_idx: int, config_idx: int) -> float:
+        q, c = int(query_idx), int(config_idx)
+        policy = self.policy
+        last_error: Optional[BaseException] = None
+        attempts = 0
+        while attempts <= policy.retries:
+            attempts += 1
+            start = self._clock()
+            try:
+                value = self.source.cost(q, c)
+            except PermanentCostError as exc:
+                self.permanent_failures += 1
+                self._spend_failure(q, c, attempts, exc)
+                raise CostSourceExhausted(
+                    f"permanent failure at pair ({q}, {c}) "
+                    f"after {attempts} attempt(s): {exc}",
+                    query_idx=q,
+                    config_idx=c,
+                    attempts=attempts,
+                    last_error=exc,
+                ) from exc
+            except CostSourceError as exc:
+                self.transient_failures += 1
+                last_error = exc
+                self._spend_failure(q, c, attempts, exc)
+            else:
+                elapsed = self._clock() - start
+                if (
+                    policy.timeout is not None
+                    and elapsed > policy.timeout
+                ):
+                    self.timeouts += 1
+                    last_error = CostTimeoutError(
+                        f"pair ({q}, {c}) took {elapsed:.3f}s "
+                        f"(timeout {policy.timeout:.3f}s)"
+                    )
+                    self._spend_failure(q, c, attempts, last_error)
+                else:
+                    return value
+            if attempts <= policy.retries:
+                self.retries_total += 1
+                self._backoff(attempts - 1)
+        raise CostSourceExhausted(
+            f"pair ({q}, {c}) failed after {attempts} attempt(s): "
+            f"{last_error}",
+            query_idx=q,
+            config_idx=c,
+            attempts=attempts,
+            last_error=last_error,
+        ) from last_error
+
+    def cost_many(self, pairs) -> np.ndarray:
+        pairs = _as_pairs(pairs)
+        if len(pairs) == 0:
+            return np.zeros(0, dtype=np.float64)
+        start = self._clock()
+        try:
+            values = self.source.cost_many(pairs)
+        except BatchCostError as exc:
+            # Partial-batch salvage: keep everything that succeeded,
+            # push only the failed pairs through the scalar retry path.
+            self.salvaged_batches += 1
+            self.salvaged_values += int(exc.ok.sum())
+            values = np.array(exc.values, dtype=np.float64, copy=True)
+            for i in sorted(exc.failures):
+                q, c = int(pairs[i, 0]), int(pairs[i, 1])
+                failure = exc.failures[i]
+                if isinstance(failure, PermanentCostError):
+                    self.permanent_failures += 1
+                else:
+                    self.transient_failures += 1
+                self._spend_failure(q, c, 1, failure)
+                # The scalar re-run below is this pair's first retry.
+                self.retries_total += 1
+                self._backoff(0)
+                values[i] = self.cost(q, c)
+            return values
+        except CostSourceExhausted:
+            raise
+        except CostSourceError:
+            # The batch died without partial results; fall back to the
+            # scalar path pair by pair so each gets its own retries.
+            self.fallback_pairs += len(pairs)
+            out = np.empty(len(pairs), dtype=np.float64)
+            for i, (q, c) in enumerate(pairs):
+                out[i] = self.cost(int(q), int(c))
+            return out
+        elapsed = self._clock() - start
+        if (
+            self.policy.timeout is not None
+            and elapsed > self.policy.timeout * len(pairs)
+        ):
+            # Batches do not fail on the cooperative timeout — the
+            # values are already in hand and discarding them buys
+            # nothing — but the degradation is recorded.
+            self.slow_batches += 1
+        return values

@@ -17,6 +17,14 @@ Plan search for a SELECT:
 
 DML statements split into a SELECT part plus maintenance costs
 (:mod:`repro.optimizer.update_cost`).
+
+The simulation always answers; a *real* what-if interface times out,
+drops connections, and occasionally refuses a plan.  The selection
+machinery therefore never assumes this reliability: callers that need
+it wrap their cost source in
+:class:`repro.faults.ResilientCostSource` (retry/backoff/timeout
+policy, partial-batch salvage) — see ``docs/resilience.md`` for the
+fault model and the degradation ladder.
 """
 
 from __future__ import annotations

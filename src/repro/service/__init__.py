@@ -24,6 +24,7 @@ Everything downstream of the drift trigger is the paper's machinery;
 the service layer is an extension (see ``docs/paper_mapping.md``).
 """
 
+from .checkpoint import load_service_checkpoint, save_service_checkpoint
 from .drift_monitor import DriftDecision, DriftMonitor, js_divergence
 from .events import EventLog, read_events
 from .ingest import StreamIngestor, WindowSnapshot
@@ -43,4 +44,6 @@ __all__ = [
     "run_service",
     "RetuneOutcome",
     "TuningSession",
+    "load_service_checkpoint",
+    "save_service_checkpoint",
 ]

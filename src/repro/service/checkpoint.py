@@ -1,0 +1,55 @@
+"""Crash-recovery checkpoints for the online tuning service.
+
+The service loop persists its durable state after every retune:
+stream position, the derived ingest/session seeds, the tuning
+session's deployed choice and warm-start estimator state, the drift
+monitor's reference mix, and summaries of completed retunes.  A
+resumed run reuses the stored seeds and *replays* the trace prefix
+through a fresh ingestor — the reservoir RNG consumes the identical
+draw sequence, so the reconstructed window and reservoirs match the
+crashed run bit-for-bit without serializing any query objects.
+
+Recovery is at-least-once: a crash after a retune but before its
+checkpoint write resumes from the previous checkpoint and re-runs the
+retune.  Per-retune seeding (``default_rng((seed, retune_count))``)
+makes the redone retune identical, so the final selection is
+unaffected; only duplicate work (and duplicate events, with fresh
+``seq`` numbers) can occur, never lost or divergent state.
+
+Files are written with the same atomic temp-file + ``os.replace``
+publish as selector checkpoints (:mod:`repro.core.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..core.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = ["save_service_checkpoint", "load_service_checkpoint"]
+
+
+def save_service_checkpoint(path: str, payload: dict) -> None:
+    """Atomically publish the service-loop state as JSON."""
+    payload = dict(payload)
+    payload["kind"] = "service"
+    save_checkpoint(path, payload)
+
+
+def load_service_checkpoint(path: str) -> Optional[dict]:
+    """Load a service checkpoint, or ``None`` when absent.
+
+    Raises ``ValueError`` when the file exists but is not a service
+    checkpoint (e.g. a selector checkpoint was pointed at by
+    mistake) — resuming from the wrong kind of state must fail loudly.
+    """
+    payload = load_checkpoint(os.fspath(path))
+    if payload is None:
+        return None
+    kind = payload.get("kind")
+    if kind != "service":
+        raise ValueError(
+            f"checkpoint {path} has kind {kind!r}, expected 'service'"
+        )
+    return payload

@@ -120,9 +120,17 @@ class DriftMonitor:
         self._reference = dict(frequencies)
 
     def score(self, frequencies: Dict[int, int]) -> float:
-        """Divergence of a mix from the reference (no side effects)."""
+        """Divergence of a mix from the reference (no side effects).
+
+        A zero-mass mix (every window entry expired, or the window not
+        yet filled) scores ``0.0`` — there is no evidence of drift in
+        an empty window, and :func:`js_divergence` is undefined there.
+        """
         if self._reference is None:
             raise RuntimeError("no reference mix set")
+        if sum(frequencies.values()) <= 0 or \
+                sum(self._reference.values()) <= 0:
+            return 0.0
         tids = sorted(set(self._reference) | set(frequencies))
         p = [self._reference.get(t, 0) for t in tids]
         q = [frequencies.get(t, 0) for t in tids]
@@ -138,9 +146,14 @@ class DriftMonitor:
 
         ``position`` is the stream position (total statements
         ingested) used for cooldown accounting; a trigger records it.
+        Degenerate windows (no entries, or all counts zero) never
+        trigger and never crash: they return an ``"empty-window"``
+        no-drift decision.
         """
         if self._reference is None:
             return DriftDecision(0.0, False, "no-reference", position)
+        if sum(frequencies.values()) <= 0:
+            return DriftDecision(0.0, False, "empty-window", position)
         value = self.score(frequencies)
         if window_fill < self.min_window_fill:
             return DriftDecision(value, False, "window-filling", position)
@@ -153,6 +166,29 @@ class DriftMonitor:
             return DriftDecision(value, False, "below-threshold", position)
         self._last_trigger = position
         return DriftDecision(value, True, "triggered", position)
+
+    # ------------------------------------------------------------------
+    # checkpoint snapshot/restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable monitor state (reference mix, cooldown)."""
+        return {
+            "reference": (
+                None if self._reference is None
+                else {str(t): int(n) for t, n in self._reference.items()}
+            ),
+            "last_trigger": self._last_trigger,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        reference = payload.get("reference")
+        self._reference = (
+            None if reference is None
+            else {int(t): int(n) for t, n in reference.items()}
+        )
+        last = payload.get("last_trigger")
+        self._last_trigger = None if last is None else int(last)
 
     # ------------------------------------------------------------------
     def changed_templates(
@@ -174,8 +210,11 @@ class DriftMonitor:
             raise RuntimeError("no reference mix set")
         ref_total = sum(self._reference.values())
         now_total = sum(frequencies.values())
-        if now_total <= 0:
-            raise ValueError("current mix must be non-empty")
+        if now_total <= 0 or ref_total <= 0:
+            # A degenerate window carries no share information; with
+            # nothing measurable, invalidate nothing rather than
+            # divide by zero.
+            return set()
         changed: Set[int] = set()
         for tid in set(self._reference) | set(frequencies):
             old = self._reference.get(tid, 0) / ref_total

@@ -7,15 +7,67 @@ run is observable while it happens (``tail -f``) and replayable after
 the fact (:func:`read_events`).  Events carry a monotonically
 increasing ``seq`` and a wall-clock ``ts``; consumers should key on
 ``seq`` (wall clocks can step).
+
+The on-disk log is **append-only across restarts**: opening a path
+that already holds events continues the sequence after the recorded
+tail instead of truncating the history, so a crashed-and-resumed
+service leaves one contiguous log.  A partially written final line
+(the signature of a crash mid-write) is discarded on reopen; complete
+history is never touched.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Any, Dict, List, Optional
 
 __all__ = ["EventLog", "read_events"]
+
+
+def _scan_tail(path: str) -> tuple:
+    """``(next_seq, truncate_at)`` for an existing event file.
+
+    Walks the file once, tracking the last complete event's ``seq``
+    and the byte offset after the last complete line.  Anything past
+    that offset is a torn final write and is safe to drop; a torn
+    line *before* the end means real corruption and raises.
+    """
+    next_seq = 0
+    clean_end = 0
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return 0, 0
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        offset = 0
+        for line in fh:
+            offset += len(line.encode("utf-8"))
+            if not line.endswith("\n"):
+                # Torn tail from a crash mid-write: everything before
+                # it is intact, so resume after the previous line.
+                if offset != size:
+                    raise ValueError(
+                        f"{path}: embedded unterminated event line"
+                    )
+                break
+            stripped = line.strip()
+            if not stripped:
+                clean_end = offset
+                continue
+            try:
+                event = json.loads(stripped)
+            except json.JSONDecodeError:
+                if offset != size:
+                    raise ValueError(
+                        f"{path}: malformed event line mid-file"
+                    ) from None
+                break
+            clean_end = offset
+            if isinstance(event, dict) and "seq" in event:
+                next_seq = max(next_seq, int(event["seq"]) + 1)
+    return next_seq, clean_end
 
 
 class EventLog:
@@ -25,9 +77,10 @@ class EventLog:
     ----------
     path:
         JSONL file to append events to; ``None`` keeps events in
-        memory only.  The file is created (truncated) on first emit,
-        and each event is flushed immediately so a crashed run leaves
-        a complete prefix.
+        memory only.  An existing file is **appended to** — the
+        sequence continues after the recorded tail, so restarting a
+        service never wipes its history.  Each event is flushed
+        immediately so a crashed run leaves a complete prefix.
     """
 
     def __init__(self, path: Optional[str] = None) -> None:
@@ -35,21 +88,37 @@ class EventLog:
         self.events: List[Dict[str, Any]] = []
         self._seq = 0
         self._fh = None
+        self._closed = False
+        if path is not None and os.path.exists(path):
+            next_seq, clean_end = _scan_tail(os.fspath(path))
+            self._seq = next_seq
+            if clean_end < os.path.getsize(path):
+                # Drop the torn final line before the first append.
+                os.truncate(path, clean_end)
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next emitted event will carry."""
+        return self._seq
 
     def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
         """Record one event and return it.
 
         ``kind`` names the event type (``"ingest"``, ``"drift_check"``,
         ``"retune_start"``, ``"retune_end"``, ...); keyword arguments
-        become the payload and must be JSON-serializable.
+        become the payload and must be JSON-serializable.  Raises
+        ``RuntimeError`` after :meth:`close` — silently reopening
+        would truncate or fork the on-disk history.
         """
+        if self._closed:
+            raise RuntimeError("emit() on a closed EventLog")
         event = {"seq": self._seq, "ts": time.time(), "kind": kind}
         event.update(fields)
         self._seq += 1
         self.events.append(event)
         if self.path is not None:
             if self._fh is None:
-                self._fh = open(self.path, "w", encoding="utf-8")
+                self._fh = open(self.path, "a", encoding="utf-8")
             self._fh.write(json.dumps(event, default=float) + "\n")
             self._fh.flush()
         return event
@@ -59,10 +128,11 @@ class EventLog:
         return [e for e in self.events if e["kind"] == kind]
 
     def close(self) -> None:
-        """Close the underlying file (no-op for in-memory logs)."""
+        """Close the log; further :meth:`emit` calls raise."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        self._closed = True
 
     def __enter__(self) -> "EventLog":
         return self

@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.selector import SelectorOptions
+from ..core.selector import SelectorOptions, SelectorState
+from ..core.sources import CostSource
+from ..faults import FaultPolicy
 from ..workload.workload import Workload
+from .checkpoint import load_service_checkpoint, save_service_checkpoint
 from .drift_monitor import DriftMonitor
 from .events import EventLog
 from .ingest import StreamIngestor
@@ -37,7 +40,10 @@ class ServiceConfig:
     """Knobs of the service loop (see module docstring).
 
     ``warm=False`` forces every retune to run cold — the baseline the
-    replay experiment compares against.
+    replay experiment compares against.  ``checkpoint_path`` enables
+    crash recovery: the loop's durable state is published there after
+    every retune, and a later :func:`run_service` pointed at the same
+    path resumes mid-trace instead of starting over.
     """
 
     window_size: int = 400
@@ -51,6 +57,7 @@ class ServiceConfig:
     invalidate_abs_tol: float = 0.02
     invalidate_rel_tol: float = 0.25
     replay_speed: float = 0.0
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -63,31 +70,71 @@ class ServiceConfig:
             )
 
 
+def _summarize_retune(r: RetuneOutcome) -> Dict[str, Any]:
+    """JSON-friendly summary of one retune (checkpoint + report row)."""
+    return {
+        "chosen_index": r.chosen_index,
+        "optimizer_calls": r.optimizer_calls,
+        "warm": r.warm,
+        "carried_samples": r.carried_samples,
+        "invalidated_templates": sorted(r.invalidated_templates),
+        "accepted": r.accepted,
+        "low_confidence": r.low_confidence,
+        "failed": r.failed,
+        "error": r.error,
+        "prcs": None if r.selection is None else r.selection.prcs,
+        "terminated_by": (
+            None if r.selection is None else r.selection.terminated_by
+        ),
+    }
+
+
 @dataclass
 class ServiceReport:
-    """Summary of one service run."""
+    """Summary of one service run.
+
+    A resumed run folds the crashed run's completed retunes in as
+    ``prior_retunes`` (summaries recovered from the checkpoint), so
+    counters cover the whole logical service lifetime, not just the
+    process that finished it.
+    """
 
     statements: int = 0
     drift_checks: int = 0
     max_drift_score: float = 0.0
     retunes: List[RetuneOutcome] = field(default_factory=list)
+    prior_retunes: List[Dict[str, Any]] = field(default_factory=list)
     final_index: Optional[int] = None
     total_optimizer_calls: int = 0
 
     @property
     def retune_count(self) -> int:
-        """Selections run, including the initial one."""
-        return len(self.retunes)
+        """Selections run, including the initial one and any
+        completed before a resume."""
+        return len(self.prior_retunes) + len(self.retunes)
 
     @property
     def drift_retunes(self) -> List[RetuneOutcome]:
         """Retunes caused by drift (everything after the initial)."""
+        if self.prior_retunes:
+            return list(self.retunes)
         return self.retunes[1:]
 
     @property
     def low_confidence_count(self) -> int:
         """Retunes that exhausted their budget below ``alpha``."""
-        return sum(1 for r in self.retunes if r.low_confidence)
+        return (
+            sum(1 for r in self.prior_retunes if r["low_confidence"])
+            + sum(1 for r in self.retunes if r.low_confidence)
+        )
+
+    @property
+    def failed_count(self) -> int:
+        """Retunes that died on an exhausted cost source."""
+        return (
+            sum(1 for r in self.prior_retunes if r.get("failed"))
+            + sum(1 for r in self.retunes if r.failed)
+        )
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-friendly summary (selection history included)."""
@@ -98,22 +145,11 @@ class ServiceReport:
             "final_index": self.final_index,
             "total_optimizer_calls": self.total_optimizer_calls,
             "low_confidence_count": self.low_confidence_count,
-            "retunes": [
-                {
-                    "chosen_index": r.chosen_index,
-                    "optimizer_calls": r.optimizer_calls,
-                    "warm": r.warm,
-                    "carried_samples": r.carried_samples,
-                    "invalidated_templates": sorted(
-                        r.invalidated_templates
-                    ),
-                    "accepted": r.accepted,
-                    "low_confidence": r.low_confidence,
-                    "prcs": r.selection.prcs,
-                    "terminated_by": r.selection.terminated_by,
-                }
-                for r in self.retunes
-            ],
+            "failed_count": self.failed_count,
+            "retunes": (
+                list(self.prior_retunes)
+                + [_summarize_retune(r) for r in self.retunes]
+            ),
         }
 
 
@@ -125,6 +161,8 @@ def run_service(
     options: SelectorOptions = SelectorOptions(),
     events: Optional[EventLog] = None,
     rng: Optional[np.random.Generator] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    fault_injector: Optional[Callable[[CostSource], CostSource]] = None,
 ) -> ServiceReport:
     """Drive the continuous-tuning loop over a trace.
 
@@ -142,19 +180,40 @@ def run_service(
     events:
         Event sink; an in-memory :class:`EventLog` is created if
         omitted.
+    fault_policy / fault_injector:
+        Passed through to :class:`TuningSession` — retry policy for an
+        unreliable optimizer and the injection seam used by resilience
+        tests (see :mod:`repro.faults`).
+
+    When ``config.checkpoint_path`` names an existing service
+    checkpoint, the run **resumes**: the stored seeds are reused, the
+    trace prefix is replayed through a fresh ingestor (reconstructing
+    window and reservoirs exactly — the reservoir RNG re-consumes the
+    identical draws), and session/monitor/report state is restored
+    before the loop continues at the recorded position.  Events from
+    the fast-forward are not re-emitted; the resumed process emits one
+    ``service_resume`` and continues the sequence.
     """
     if trace.size < 1:
         raise ValueError("trace must contain at least one statement")
     events = events if events is not None else EventLog()
     rng = rng if rng is not None else np.random.default_rng()
+    resume = None
+    if config.checkpoint_path is not None:
+        resume = load_service_checkpoint(config.checkpoint_path)
     # Independent streams for ingestion and selection, both derived
     # from the caller's rng: the reservoir contents and the retune
     # draws then depend only on the seed and the trace, not on how
     # many samples earlier retunes consumed.  Two runs differing only
     # in ``config.warm`` see identical snapshots and identical
-    # per-retune randomness — a matched-pairs comparison.
-    ingest_seed = int(rng.integers(2**31))
-    session_seed = int(rng.integers(2**31))
+    # per-retune randomness — a matched-pairs comparison.  A resumed
+    # run reuses the crashed run's seeds; the caller's rng is ignored.
+    if resume is not None:
+        ingest_seed = int(resume["ingest_seed"])
+        session_seed = int(resume["session_seed"])
+    else:
+        ingest_seed = int(rng.integers(2**31))
+        session_seed = int(rng.integers(2**31))
 
     ingestor = StreamIngestor(
         window_size=config.window_size,
@@ -172,28 +231,105 @@ def run_service(
         options=options,
         retune_budget=config.retune_budget,
         seed=session_seed,
+        fault_policy=fault_policy,
+        fault_injector=fault_injector,
     )
     report = ServiceReport()
-    events.emit(
-        "service_start",
-        statements=trace.size,
-        k=len(list(configurations)),
-        window_size=config.window_size,
-        batch_size=config.batch_size,
-        reservoir_size=config.reservoir_size,
-        drift_threshold=config.drift_threshold,
-        cooldown=config.cooldown,
-        retune_budget=config.retune_budget,
-        warm=config.warm,
-        alpha=options.alpha,
-        scheme=options.scheme,
-    )
 
     first_tune_at = min(config.window_size, trace.size)
     names = [
         trace.registry.name_of(int(t)) for t in trace.template_ids
     ]
     position = 0
+
+    def _save_state() -> None:
+        if config.checkpoint_path is None:
+            return
+        selector_state = session.state
+        save_service_checkpoint(
+            config.checkpoint_path,
+            {
+                "position": int(position),
+                "ingest_seed": ingest_seed,
+                "session_seed": session_seed,
+                "session": {
+                    "current_index": session.current_index,
+                    "retune_count": session.retune_count,
+                    "total_calls": session.total_calls,
+                    "failed_retunes": session.failed_retunes,
+                    "state": (
+                        None if selector_state is None
+                        else selector_state.to_dict()
+                    ),
+                },
+                "monitor": monitor.state_dict(),
+                "report": {
+                    "drift_checks": report.drift_checks,
+                    "max_drift_score": report.max_drift_score,
+                    "retunes": (
+                        list(report.prior_retunes)
+                        + [_summarize_retune(r) for r in report.retunes]
+                    ),
+                },
+            },
+        )
+
+    if resume is not None:
+        position = int(resume["position"])
+        if position > trace.size:
+            raise ValueError(
+                f"checkpoint position {position} exceeds trace size "
+                f"{trace.size}"
+            )
+        # Deterministic fast-forward: re-ingest the already-processed
+        # prefix so window, reservoirs and registry match the crashed
+        # run exactly.  No events are emitted for replayed batches.
+        replay_at = 0
+        while replay_at < position:
+            hi = min(replay_at + config.batch_size, position)
+            ingestor.observe_batch(
+                trace.queries[replay_at:hi], names[replay_at:hi]
+            )
+            replay_at = hi
+        stored = resume["session"]
+        current = stored.get("current_index")
+        session.current_index = None if current is None else int(current)
+        session.retune_count = int(stored["retune_count"])
+        session.total_calls = int(stored["total_calls"])
+        session.failed_retunes = int(stored.get("failed_retunes", 0))
+        state = stored.get("state")
+        session.restore_state(
+            None if state is None else SelectorState.from_dict(state)
+        )
+        monitor.restore_state(resume["monitor"])
+        stored_report = resume["report"]
+        report.statements = position
+        report.drift_checks = int(stored_report["drift_checks"])
+        report.max_drift_score = float(stored_report["max_drift_score"])
+        report.prior_retunes = list(stored_report["retunes"])
+        events.emit(
+            "service_resume",
+            position=position,
+            retunes=report.retune_count,
+            current_index=session.current_index,
+            total_optimizer_calls=session.total_calls,
+        )
+    else:
+        events.emit(
+            "service_start",
+            statements=trace.size,
+            k=len(list(configurations)),
+            window_size=config.window_size,
+            batch_size=config.batch_size,
+            reservoir_size=config.reservoir_size,
+            drift_threshold=config.drift_threshold,
+            cooldown=config.cooldown,
+            retune_budget=config.retune_budget,
+            warm=config.warm,
+            alpha=options.alpha,
+            scheme=options.scheme,
+        )
+
     while position < trace.size:
         hi = min(position + config.batch_size, trace.size)
         batch_len = hi - position
@@ -219,6 +355,7 @@ def run_service(
                     session, ingestor, monitor, events, report,
                     warm=False, trigger_score=None,
                 )
+                _save_state()
             continue
 
         decision = monitor.check(
@@ -249,9 +386,11 @@ def run_service(
                     else None
                 ),
             )
+            _save_state()
 
     report.final_index = session.current_index
     report.total_optimizer_calls = session.total_calls
+    _save_state()
     events.emit(
         "service_end",
         statements=report.statements,
@@ -259,6 +398,7 @@ def run_service(
         final_index=report.final_index,
         total_optimizer_calls=report.total_optimizer_calls,
         low_confidence=report.low_confidence_count,
+        failed=report.failed_count,
     )
     return report
 
@@ -289,6 +429,21 @@ def _retune(
         snapshot.workload, warm=warm, invalidate_templates=invalidate
     )
     report.retunes.append(outcome)
+    if outcome.failed:
+        # Cost source exhausted mid-run: the session kept the current
+        # configuration.  The reference mix is deliberately *not*
+        # updated — the drift that triggered this retune is still
+        # unanswered, so the next window past cooldown re-triggers.
+        events.emit(
+            "retune_failed",
+            position=snapshot.position,
+            chosen_index=outcome.chosen_index,
+            optimizer_calls=outcome.optimizer_calls,
+            warm=outcome.warm,
+            carried_samples=outcome.carried_samples,
+            error=outcome.error,
+        )
+        return
     monitor.set_reference(snapshot.frequencies)
     events.emit(
         "retune_end",

@@ -22,7 +22,7 @@ offline primitive:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Set
+from typing import Callable, Dict, Optional, Sequence, Set
 
 import numpy as np
 
@@ -32,8 +32,9 @@ from ..core.selector import (
     SelectorOptions,
     SelectorState,
 )
-from ..core.sources import OptimizerCostSource
+from ..core.sources import CostSource, OptimizerCostSource
 from ..experiments.profiling import PhaseTimer
+from ..faults import CostSourceExhausted, FaultPolicy, ResilientCostSource
 from ..workload.workload import Workload
 
 __all__ = ["RetuneOutcome", "TuningSession"]
@@ -45,17 +46,23 @@ class RetuneOutcome:
 
     ``chosen_index`` is the configuration the session is deployed on
     *after* the retune — on graceful degradation that is the previous
-    choice, not the run's ``selection.best_index``.
+    choice, not the run's ``selection.best_index``.  A ``failed``
+    outcome means the cost source died mid-run (retries/failure budget
+    exhausted): the session kept the deployed configuration and no
+    selection result exists; partial sampled state is still carried
+    into the next retune.
     """
 
-    selection: SelectionResult
-    chosen_index: int
+    selection: Optional[SelectionResult]
+    chosen_index: Optional[int]
     optimizer_calls: int
     warm: bool
     carried_samples: int
     invalidated_templates: Set[int] = field(default_factory=set)
     accepted: bool = True
     low_confidence: bool = False
+    failed: bool = False
+    error: Optional[str] = None
     #: Selector wall time by phase (plan/draw/cost/ingest/evaluate).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -86,6 +93,18 @@ class TuningSession:
     rng:
         Shared generator driving all retunes; ignored when ``seed``
         is given.
+    fault_policy:
+        When given, each retune's cost source is wrapped in a
+        :class:`~repro.faults.ResilientCostSource` with this policy:
+        transient optimizer failures are retried with backoff, and an
+        exhausted retry/failure budget degrades the retune to
+        keep-current (a ``failed`` outcome) instead of killing the
+        service loop.
+    fault_injector:
+        Optional callable ``source -> source`` applied to the raw
+        per-retune cost source *before* the resilience wrapper —
+        the seam fault-injection tests and the resilience experiment
+        use to make the optimizer unreliable on purpose.
     """
 
     def __init__(
@@ -96,6 +115,8 @@ class TuningSession:
         retune_budget: Optional[int] = None,
         seed: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        fault_injector: Optional[Callable[[CostSource], CostSource]] = None,
     ) -> None:
         if not configurations:
             raise ValueError("need at least one candidate configuration")
@@ -109,9 +130,12 @@ class TuningSession:
         self.retune_budget = retune_budget
         self.seed = seed
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.fault_policy = fault_policy
+        self.fault_injector = fault_injector
         self.current_index: Optional[int] = None
         self.retune_count = 0
         self.total_calls = 0
+        self.failed_retunes = 0
         self._state: Optional[SelectorState] = None
         #: Session-wide selector phase profile, accumulated per retune.
         self.timer = PhaseTimer()
@@ -158,9 +182,14 @@ class TuningSession:
         state = self._state if warm else None
         if state is not None and invalidated:
             state = state.drop_templates(invalidated)
-        source = OptimizerCostSource(
+        raw = OptimizerCostSource(
             workload, self.configurations, self.optimizer
         )
+        source: CostSource = raw
+        if self.fault_injector is not None:
+            source = self.fault_injector(source)
+        if self.fault_policy is not None:
+            source = ResilientCostSource(source, self.fault_policy)
         options = replace(self.options, max_calls=self.retune_budget)
         retune_timer = PhaseTimer()
         selector = ConfigurationSelector(
@@ -173,8 +202,36 @@ class TuningSession:
         )
         try:
             result = selector.run()
+        except CostSourceExhausted as exc:
+            # The cost source died for good (retries and failure
+            # budget spent).  Keep the deployed configuration rather
+            # than taking the whole service down; carry whatever
+            # partial state the run accumulated — those calls still
+            # bought information.
+            self.timer.merge(retune_timer)
+            spent = int(raw.calls)
+            try:
+                self._state = selector.export_state()
+            except RuntimeError:
+                pass  # died before any estimator state existed
+            self.retune_count += 1
+            self.total_calls += spent
+            self.failed_retunes += 1
+            return RetuneOutcome(
+                selection=None,
+                chosen_index=self.current_index,
+                optimizer_calls=spent,
+                warm=state is not None,
+                carried_samples=selector.carried_samples,
+                invalidated_templates=invalidated,
+                accepted=False,
+                low_confidence=True,
+                failed=True,
+                error=str(exc),
+                phase_seconds=retune_timer.as_dict(),
+            )
         finally:
-            source.close()
+            raw.close()
         self.timer.merge(retune_timer)
 
         low_confidence = (

@@ -1,0 +1,526 @@
+"""Checkpoint/resume: crash-safe snapshots and bit-identical restarts.
+
+Two layers are pinned here.  The selector layer kills a run mid-flight
+(a cost source that starts raising once its call budget is spent),
+restarts from the on-disk checkpoint with a *fresh* source and a fresh
+— deliberately different — RNG, and must land on the exact golden
+record of the uninterrupted run: same best index, same float
+estimates, same call accounting.  The service layer crashes the
+continuous-tuning loop mid-retune and resumes from the service
+checkpoint, which must reconstruct reservoirs, drift state and session
+state so the recovered run is indistinguishable from one that never
+crashed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
+)
+from repro.core.selector import ConfigurationSelector
+from repro.core.sources import CostSource, MatrixCostSource
+from repro.optimizer import WhatIfOptimizer
+from repro.service import EventLog, ServiceConfig, read_events, run_service
+from repro.service.checkpoint import (
+    load_service_checkpoint,
+    save_service_checkpoint,
+)
+from repro.workload import WorkloadGenerator
+from repro.workload.drift import change_point_workload
+
+from tests.test_batched_equivalence import (
+    GOLDEN_PATH,
+    _case_key,
+    _options,
+    synthetic_matrix,
+)
+from tests.test_service_loop import OPTIONS as SERVICE_OPTIONS
+from tests.test_service_loop import _templates, configs  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# checkpoint file format
+# ----------------------------------------------------------------------
+class TestCheckpointFile:
+    def test_roundtrip_and_version_stamp(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, {"round": 3, "x": [1.5, 2.5]})
+        loaded = load_checkpoint(path)
+        assert loaded["round"] == 3
+        assert loaded["x"] == [1.5, 2.5]
+        assert loaded["version"] == CHECKPOINT_VERSION
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "absent.json") is None
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="unreadable"):
+            load_checkpoint(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 999}), encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_no_temp_file_litter(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        for i in range(3):
+            save_checkpoint(path, {"round": i})
+        assert os.listdir(tmp_path) == ["ckpt.json"]
+
+    def test_rng_state_roundtrips_exactly(self):
+        rng = np.random.default_rng(5)
+        rng.random(17)  # advance to a mid-stream state
+        state = json.loads(json.dumps(rng_state(rng)))
+        fresh = np.random.default_rng(12345)
+        restore_rng(fresh, state)
+        np.testing.assert_array_equal(rng.random(32), fresh.random(32))
+
+    def test_rng_family_mismatch_raises(self):
+        state = rng_state(np.random.default_rng(5))
+        state["bit_generator"] = "MT19937"
+        with pytest.raises(ValueError, match="MT19937"):
+            restore_rng(np.random.default_rng(0), state)
+
+    def test_service_checkpoint_kind_guard(self, tmp_path):
+        path = tmp_path / "svc.json"
+        save_checkpoint(path, {"kind": "selector"})
+        with pytest.raises(ValueError, match="service"):
+            load_service_checkpoint(path)
+        save_service_checkpoint(path, {"position": 0})
+        assert load_service_checkpoint(path)["position"] == 0
+
+
+# ----------------------------------------------------------------------
+# selector kill / resume against the golden fixture
+# ----------------------------------------------------------------------
+class Killed(RuntimeError):
+    """Simulated hard crash of the cost source."""
+
+
+class KillSource(MatrixCostSource):
+    """Matrix source that dies once ``kill_after`` distinct calls are
+    spent — before serving the request, like a backend going away."""
+
+    def __init__(self, matrix, kill_after: int) -> None:
+        super().__init__(matrix)
+        self.kill_after = kill_after
+
+    def _maybe_kill(self) -> None:
+        if self.calls >= self.kill_after:
+            raise Killed(f"source killed after {self.calls} calls")
+
+    def cost(self, query_idx, config_idx):
+        self._maybe_kill()
+        return super().cost(query_idx, config_idx)
+
+    def cost_many(self, pairs):
+        self._maybe_kill()
+        return super().cost_many(pairs)
+
+
+def _result_record(case, result):
+    """The golden-fixture record shape for a finished selection."""
+    return {
+        "case": {k: case[k] for k in ("scheme", "stratify", "seed",
+                                      "max_calls")},
+        "best_index": int(result.best_index),
+        "prcs": float(result.prcs).hex(),
+        "optimizer_calls": int(result.optimizer_calls),
+        "queries_sampled": int(result.queries_sampled),
+        "terminated_by": result.terminated_by,
+        "eliminated": sorted(int(j) for j in result.eliminated),
+        "estimates": [float(x).hex() for x in result.estimates],
+        "history": [
+            [int(c), float(p).hex()] for c, p in result.history
+        ],
+        "final_strata": [
+            [int(t) for t in group] for group in result.final_strata
+        ],
+    }
+
+
+RESUME_CASES = [
+    ({"scheme": "delta", "stratify": "progressive", "seed": 0,
+      "max_calls": None}, 150),
+    ({"scheme": "delta", "stratify": "progressive", "seed": 0,
+      "max_calls": None}, 400),
+    ({"scheme": "delta", "stratify": "progressive", "seed": 7,
+      "max_calls": 300}, 150),
+    ({"scheme": "independent", "stratify": "progressive", "seed": 7,
+      "max_calls": 240}, 150),
+    ({"scheme": "independent", "stratify": "progressive", "seed": 0,
+      "max_calls": None}, 80),
+]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+class TestSelectorResume:
+    def test_checkpoint_every_validated(self):
+        matrix, template_ids = synthetic_matrix(n=60, t=4)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            ConfigurationSelector(
+                MatrixCostSource(matrix), template_ids,
+                checkpoint_every=0,
+            )
+
+    def test_checkpointing_does_not_perturb_the_run(
+        self, tmp_path, golden
+    ):
+        """Snapshot writes are pure reads: the checkpointed run's
+        result is the golden record, bit for bit."""
+        case = RESUME_CASES[0][0]
+        matrix, template_ids = synthetic_matrix()
+        selector = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids, _options(case),
+            rng=np.random.default_rng(case["seed"]),
+            checkpoint_path=str(tmp_path / "ckpt.json"),
+        )
+        result = selector.run()
+        assert _result_record(case, result) == golden[_case_key(case)]
+
+    def test_resume_requires_a_path(self):
+        matrix, template_ids = synthetic_matrix(n=60, t=4)
+        selector = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids
+        )
+        with pytest.raises(ValueError, match="no checkpoint path"):
+            selector.resume()
+
+    def test_resume_missing_file(self, tmp_path):
+        matrix, template_ids = synthetic_matrix(n=60, t=4)
+        selector = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids,
+            checkpoint_path=str(tmp_path / "absent.json"),
+        )
+        with pytest.raises(FileNotFoundError):
+            selector.resume()
+
+    def test_resume_rejects_mismatched_run(self, tmp_path):
+        case = RESUME_CASES[0][0]
+        path = str(tmp_path / "ckpt.json")
+        matrix, template_ids = synthetic_matrix()
+        source = KillSource(matrix, kill_after=150)
+        selector = ConfigurationSelector(
+            source, template_ids, _options(case),
+            rng=np.random.default_rng(0), checkpoint_path=path,
+        )
+        with pytest.raises(Killed):
+            selector.run()
+        # Different scheme.
+        other = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids,
+            _options({**case, "scheme": "independent"}),
+            checkpoint_path=path,
+        )
+        with pytest.raises(ValueError, match="scheme"):
+            other.resume()
+        # Different options (same scheme).
+        other = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids,
+            _options({**case, "max_calls": 9999}),
+            checkpoint_path=path,
+        )
+        with pytest.raises(ValueError, match="options"):
+            other.resume()
+        # Different workload size.
+        small, small_ids = synthetic_matrix(n=60, t=4)
+        other = ConfigurationSelector(
+            MatrixCostSource(small), small_ids, _options(case),
+            checkpoint_path=path,
+        )
+        with pytest.raises(ValueError, match="queries"):
+            other.resume()
+        # Not a selector checkpoint at all.
+        svc = str(tmp_path / "svc.json")
+        save_service_checkpoint(svc, {"position": 0})
+        other = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids, _options(case),
+            checkpoint_path=svc,
+        )
+        with pytest.raises(ValueError, match="selector checkpoint"):
+            other.resume()
+
+    @pytest.mark.parametrize(
+        ("case", "kill_after"), RESUME_CASES,
+        ids=[f"{_case_key(c)}/kill{k}" for c, k in RESUME_CASES],
+    )
+    def test_kill_and_resume_matches_golden(
+        self, case, kill_after, tmp_path, golden
+    ):
+        """Kill mid-run, restart from disk, land on the golden record.
+
+        The resuming selector gets a *fresh* source (no calls made in
+        this process) and a deliberately different RNG seed — both must
+        be irrelevant: the checkpoint carries spent-call accounting and
+        the exact generator state.
+        """
+        path = str(tmp_path / "ckpt.json")
+        matrix, template_ids = synthetic_matrix()
+        source = KillSource(matrix, kill_after=kill_after)
+        selector = ConfigurationSelector(
+            source, template_ids, _options(case),
+            rng=np.random.default_rng(case["seed"]),
+            checkpoint_path=path,
+        )
+        with pytest.raises(Killed):
+            selector.run()
+        assert os.path.exists(path)
+
+        fresh = ConfigurationSelector(
+            MatrixCostSource(matrix), template_ids, _options(case),
+            rng=np.random.default_rng(999),  # must be overwritten
+        )
+        result = fresh.resume(path)
+        assert _result_record(case, result) == golden[_case_key(case)]
+
+    def test_resume_after_every_round(self, tmp_path, golden):
+        """Chained kills: crash repeatedly, resume each time, finish.
+
+        Exercises resume-from-resume (the continuation itself writes
+        checkpoints) at escalating kill points.
+        """
+        case = RESUME_CASES[0][0]
+        path = str(tmp_path / "ckpt.json")
+        matrix, template_ids = synthetic_matrix()
+        result = None
+        kill_points = [120, 260, 430, None]
+        for kill in kill_points:
+            if kill is None:
+                source = MatrixCostSource(matrix)
+            else:
+                source = KillSource(matrix, kill_after=kill)
+            selector = ConfigurationSelector(
+                source, template_ids, _options(case),
+                rng=np.random.default_rng(case["seed"]),
+                checkpoint_path=path,
+            )
+            try:
+                if os.path.exists(path):
+                    result = selector.resume()
+                else:
+                    result = selector.run()
+                break
+            except Killed:
+                continue
+        assert result is not None
+        assert _result_record(case, result) == golden[_case_key(case)]
+
+
+# ----------------------------------------------------------------------
+# service crash / resume
+# ----------------------------------------------------------------------
+class SimulatedCrash(RuntimeError):
+    """Stands in for SIGKILL: aborts the loop mid-retune."""
+
+
+class _CrashingSource(CostSource):
+    def __init__(self, inner, after_calls: int) -> None:
+        self._inner = inner
+        self._remaining = after_calls
+
+    @property
+    def n_queries(self):
+        return self._inner.n_queries
+
+    @property
+    def n_configs(self):
+        return self._inner.n_configs
+
+    @property
+    def calls(self):
+        return self._inner.calls
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def _spend(self, n: int) -> None:
+        self._remaining -= n
+        if self._remaining <= 0:
+            raise SimulatedCrash("cost source vanished mid-retune")
+
+    def cost(self, query_idx, config_idx):
+        self._spend(1)
+        return self._inner.cost(query_idx, config_idx)
+
+    def cost_many(self, pairs):
+        self._spend(len(pairs))
+        return self._inner.cost_many(pairs)
+
+
+class CrashOnRetune:
+    """Injector that lets retunes before ``retune_idx`` finish and
+    crashes the ``retune_idx``-th one after a few calls."""
+
+    def __init__(self, retune_idx: int, after_calls: int = 5) -> None:
+        self.retune_idx = retune_idx
+        self.after_calls = after_calls
+        self.invocations = 0
+
+    def __call__(self, source):
+        self.invocations += 1
+        if self.invocations == self.retune_idx:
+            return _CrashingSource(source, self.after_calls)
+        return source
+
+
+class TestServiceResume:
+    def _trace(self, small_schema):
+        lookup, datescan, _, _ = _templates()
+        generator = WorkloadGenerator(small_schema, [lookup, datescan])
+        return change_point_workload(
+            generator, 240, [1.0, 0.05], [0.05, 1.0], 120,
+            np.random.default_rng(0),
+        )
+
+    def _config(self, **kw):
+        base = dict(
+            window_size=60, batch_size=20, reservoir_size=32,
+            drift_threshold=0.05, cooldown=40, min_window_fill=0.5,
+        )
+        base.update(kw)
+        return ServiceConfig(**base)
+
+    def _run(self, small_schema, trace, configs, *, config, events,
+             fault_injector=None):
+        return run_service(
+            trace, configs, WhatIfOptimizer(small_schema),
+            config=config, options=SERVICE_OPTIONS, events=events,
+            rng=np.random.default_rng(0),
+            fault_injector=fault_injector,
+        )
+
+    def test_checkpointing_run_matches_plain_run(
+        self, small_schema, configs, tmp_path
+    ):
+        trace = self._trace(small_schema)
+        with EventLog() as ev_a:
+            plain = self._run(
+                small_schema, trace, configs,
+                config=self._config(), events=ev_a,
+            )
+        with EventLog() as ev_b:
+            checked = self._run(
+                small_schema, trace, configs,
+                config=self._config(
+                    checkpoint_path=str(tmp_path / "svc.json")
+                ),
+                events=ev_b,
+            )
+        assert plain.retune_count >= 2  # the scenario actually retunes
+        assert checked.as_dict() == plain.as_dict()
+
+    def test_crash_and_resume_matches_uninterrupted_run(
+        self, small_schema, configs, tmp_path
+    ):
+        trace = self._trace(small_schema)
+        with EventLog() as ref_events:
+            reference = self._run(
+                small_schema, trace, configs,
+                config=self._config(), events=ref_events,
+            )
+        assert reference.retune_count >= 2
+
+        ckpt = str(tmp_path / "svc.json")
+        events_path = str(tmp_path / "events.jsonl")
+        crasher = CrashOnRetune(retune_idx=2, after_calls=5)
+        with pytest.raises(SimulatedCrash):
+            with EventLog(events_path) as events:
+                self._run(
+                    small_schema, trace, configs,
+                    config=self._config(checkpoint_path=ckpt),
+                    events=events, fault_injector=crasher,
+                )
+        interrupted = load_service_checkpoint(ckpt)
+        assert interrupted["position"] < trace.size  # mid-trace crash
+
+        # Restart: fresh optimizer, fresh event-log handle on the same
+        # file, a different rng (the stored seeds must win).
+        with EventLog(events_path) as events:
+            resumed = run_service(
+                trace, configs, WhatIfOptimizer(small_schema),
+                config=self._config(checkpoint_path=ckpt),
+                options=SERVICE_OPTIONS, events=events,
+                rng=np.random.default_rng(12345),
+            )
+
+        assert resumed.final_index == reference.final_index
+        assert resumed.retune_count == reference.retune_count
+        assert resumed.failed_count == 0
+        # Same decisions, confidences and termination reasons.  Raw
+        # call counts are NOT compared: the reference run's single
+        # optimizer serves the later retunes out of its plan cache,
+        # while the restarted process re-evaluates those pairs — the
+        # unavoidable cost of at-least-once recovery.
+        decisive = (
+            "chosen_index", "accepted", "low_confidence", "failed",
+            "prcs", "terminated_by",
+        )
+        assert [
+            {k: r[k] for k in decisive}
+            for r in resumed.as_dict()["retunes"]
+        ] == [
+            {k: r[k] for k in decisive}
+            for r in reference.as_dict()["retunes"]
+        ]
+        assert (
+            resumed.total_optimizer_calls
+            >= reference.total_optimizer_calls
+        )
+
+        # The recovered event log is contiguous across the crash and
+        # records the resume.
+        records = read_events(events_path)
+        kinds = [r["kind"] for r in records]
+        assert "service_resume" in kinds
+        assert kinds.count("service_start") == 1
+        assert kinds[-1] == "service_end"
+        seqs = [r["seq"] for r in records]
+        assert seqs == list(range(len(records)))
+
+        final = load_service_checkpoint(ckpt)
+        assert final["position"] == trace.size
+
+    def test_resume_rejects_short_trace(
+        self, small_schema, configs, tmp_path
+    ):
+        trace = self._trace(small_schema)
+        ckpt = str(tmp_path / "svc.json")
+        with EventLog() as events:
+            self._run(
+                small_schema, trace, configs,
+                config=self._config(checkpoint_path=ckpt),
+                events=events,
+            )
+        short = change_point_workload(
+            WorkloadGenerator(
+                small_schema, list(_templates()[:2])
+            ),
+            60, [1.0, 0.05], [0.05, 1.0], 30,
+            np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError, match="position"):
+            with EventLog() as events:
+                self._run(
+                    small_schema, short, configs,
+                    config=self._config(checkpoint_path=ckpt),
+                    events=events,
+                )

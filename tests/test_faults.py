@@ -1,0 +1,374 @@
+"""Fault-tolerance layer: policy, injection, retries, and parity.
+
+The contract under test (PR 5 tentpole): with fault injection disabled
+the resilience wrapper is a bit-exact pass-through, and with transient
+faults that recover within the retry budget the *selection* is
+bit-identical to a no-fault run — same decisions, same floats, same
+distinct optimizer-call count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selector import ConfigurationSelector, SelectorOptions
+from repro.core.sources import CostSource, MatrixCostSource
+from repro.faults import (
+    BatchCostError,
+    CostSourceExhausted,
+    CostTimeoutError,
+    FakeClock,
+    FaultPolicy,
+    InjectedFaultCostSource,
+    PermanentCostError,
+    ResilientCostSource,
+    TransientCostError,
+)
+
+from tests.test_batched_equivalence import synthetic_matrix
+
+
+# ----------------------------------------------------------------------
+# FaultPolicy
+# ----------------------------------------------------------------------
+class TestFaultPolicy:
+    def test_defaults_are_valid(self):
+        FaultPolicy()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_max": -1.0},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"timeout": 0.0},
+            {"failure_budget": 0},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            FaultPolicy(**kw)
+
+    def test_backoff_grows_and_caps(self):
+        policy = FaultPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.35,
+            jitter=0.0,
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.backoff(i, rng) for i in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.35, 0.35])
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = FaultPolicy(
+            backoff_base=1.0, backoff_factor=1.0, backoff_max=10.0,
+            jitter=0.25,
+        )
+        a = [policy.backoff(0, np.random.default_rng(7)) for _ in range(3)]
+        b = [policy.backoff(0, np.random.default_rng(7)) for _ in range(3)]
+        assert a == b  # same rng state -> same jitter
+        for d in a:
+            assert 0.75 <= d <= 1.25
+
+
+# ----------------------------------------------------------------------
+# scripted flaky sources for unit-testing the wrapper
+# ----------------------------------------------------------------------
+class ScriptedSource(CostSource):
+    """Fails the first ``fail_first`` scalar calls per pair."""
+
+    def __init__(self, matrix, fail_first=0, error=TransientCostError,
+                 slow_first=0, slow_seconds=0.0, clock=None):
+        self._m = np.asarray(matrix, dtype=np.float64)
+        self.fail_first = fail_first
+        self.error = error
+        self.slow_first = slow_first
+        self.slow_seconds = slow_seconds
+        self.clock = clock
+        self.attempts = {}
+        self.scalar_calls = 0
+
+    @property
+    def n_queries(self):
+        return self._m.shape[0]
+
+    @property
+    def n_configs(self):
+        return self._m.shape[1]
+
+    @property
+    def calls(self):
+        return self.scalar_calls
+
+    def cost(self, q, c):
+        self.scalar_calls += 1
+        key = (q, c)
+        n = self.attempts.get(key, 0) + 1
+        self.attempts[key] = n
+        if n <= self.fail_first:
+            raise self.error(f"scripted failure {n} at {key}")
+        if n <= self.fail_first + self.slow_first:
+            self.clock.advance(self.slow_seconds)
+        return float(self._m[q, c])
+
+
+class TestResilientScalar:
+    MATRIX = np.arange(12, dtype=np.float64).reshape(4, 3) + 1.0
+
+    def test_transient_failures_retried(self):
+        clock = FakeClock()
+        source = ScriptedSource(self.MATRIX, fail_first=2)
+        wrapper = ResilientCostSource(
+            source, FaultPolicy(retries=3, backoff_base=0.1, jitter=0.0),
+            sleep=clock.sleep, clock=clock,
+        )
+        assert wrapper.cost(1, 2) == self.MATRIX[1, 2]
+        stats = wrapper.fault_stats()
+        assert stats["transient_failures"] == 2
+        assert stats["retries_total"] == 2
+        # 0.1 + 0.2 of exponential backoff, slept on the fake clock.
+        assert clock.now == pytest.approx(0.3)
+        assert stats["backoff_seconds"] == pytest.approx(0.3)
+
+    def test_retry_budget_exhausts(self):
+        source = ScriptedSource(self.MATRIX, fail_first=99)
+        wrapper = ResilientCostSource(
+            source, FaultPolicy(retries=2, backoff_base=0.0),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(CostSourceExhausted) as excinfo:
+            wrapper.cost(0, 1)
+        err = excinfo.value
+        assert err.query_idx == 0 and err.config_idx == 1
+        assert err.attempts == 3  # 1 initial + 2 retries
+        assert isinstance(err.last_error, TransientCostError)
+
+    def test_permanent_failure_exhausts_immediately(self):
+        source = ScriptedSource(
+            self.MATRIX, fail_first=99, error=PermanentCostError
+        )
+        wrapper = ResilientCostSource(
+            source, FaultPolicy(retries=5), sleep=lambda s: None,
+        )
+        with pytest.raises(CostSourceExhausted):
+            wrapper.cost(2, 0)
+        assert source.scalar_calls == 1  # no pointless retries
+        assert wrapper.fault_stats()["permanent_failures"] == 1
+
+    def test_timeout_discards_and_retries(self):
+        clock = FakeClock()
+        source = ScriptedSource(
+            self.MATRIX, slow_first=1, slow_seconds=9.0, clock=clock
+        )
+        wrapper = ResilientCostSource(
+            source,
+            FaultPolicy(retries=2, timeout=1.0, backoff_base=0.0),
+            sleep=clock.sleep, clock=clock,
+        )
+        assert wrapper.cost(3, 1) == self.MATRIX[3, 1]
+        stats = wrapper.fault_stats()
+        assert stats["timeouts"] == 1
+        assert source.scalar_calls == 2  # slow value discarded, redone
+
+    def test_failure_budget_spans_pairs(self):
+        source = ScriptedSource(self.MATRIX, fail_first=1)
+        wrapper = ResilientCostSource(
+            source,
+            FaultPolicy(retries=3, backoff_base=0.0, failure_budget=3),
+            sleep=lambda s: None,
+        )
+        wrapper.cost(0, 0)  # 1 failed attempt
+        wrapper.cost(0, 1)  # 2 failed attempts
+        with pytest.raises(CostSourceExhausted):
+            wrapper.cost(0, 2)  # 3rd failed attempt spends the budget
+
+    def test_no_fault_passthrough(self):
+        source = MatrixCostSource(self.MATRIX)
+        wrapper = ResilientCostSource(source, FaultPolicy())
+        pairs = [(q, c) for q in range(4) for c in range(3)]
+        np.testing.assert_array_equal(
+            wrapper.cost_many(pairs), source.cost_many(pairs)
+        )
+        assert wrapper.calls == source.calls
+        assert all(
+            v == 0 for k, v in wrapper.fault_stats().items()
+            if k != "backoff_seconds"
+        )
+
+
+# ----------------------------------------------------------------------
+# injection
+# ----------------------------------------------------------------------
+class TestInjectedFaults:
+    MATRIX = np.arange(20, dtype=np.float64).reshape(5, 4) + 1.0
+
+    def test_fault_set_is_order_independent(self):
+        a = InjectedFaultCostSource(
+            MatrixCostSource(self.MATRIX), rate=0.5, seed=3
+        )
+        b = InjectedFaultCostSource(
+            MatrixCostSource(self.MATRIX), rate=0.5, seed=3
+        )
+        pairs = [(q, c) for q in range(5) for c in range(4)]
+        forward = [a.is_faulty(q, c) for q, c in pairs]
+        backward = [b.is_faulty(q, c) for q, c in reversed(pairs)]
+        assert forward == list(reversed(backward))
+        assert any(forward) and not all(forward)
+
+    def test_validation(self):
+        inner = MatrixCostSource(self.MATRIX)
+        with pytest.raises(ValueError):
+            InjectedFaultCostSource(inner, rate=1.5)
+        with pytest.raises(ValueError):
+            InjectedFaultCostSource(inner, rate=0.1, mode="weird")
+        with pytest.raises(ValueError):
+            InjectedFaultCostSource(inner, rate=0.1, fail_attempts=0)
+        with pytest.raises(ValueError):
+            InjectedFaultCostSource(inner, rate=0.1, mode="slow")
+
+    def test_transient_fault_never_reaches_inner(self):
+        inner = MatrixCostSource(self.MATRIX)
+        injected = InjectedFaultCostSource(inner, rate=1.0, seed=0)
+        with pytest.raises(TransientCostError):
+            injected.cost(0, 0)
+        assert inner.calls == 0  # the failed attempt cost nothing
+        assert injected.cost(0, 0) == self.MATRIX[0, 0]
+        assert inner.calls == 1
+
+    def test_batch_error_carries_partial_values(self):
+        inner = MatrixCostSource(self.MATRIX)
+        injected = InjectedFaultCostSource(inner, rate=0.4, seed=11)
+        pairs = np.array(
+            [(q, c) for q in range(5) for c in range(4)], dtype=np.int64
+        )
+        with pytest.raises(BatchCostError) as excinfo:
+            injected.cost_many(pairs)
+        err = excinfo.value
+        assert err.ok.sum() + len(err.failures) == len(pairs)
+        for i in np.flatnonzero(err.ok):
+            assert err.values[i] == self.MATRIX[pairs[i, 0], pairs[i, 1]]
+
+    def test_zero_rate_is_transparent(self):
+        inner = MatrixCostSource(self.MATRIX)
+        injected = InjectedFaultCostSource(inner, rate=0.0, seed=5)
+        pairs = [(q, c) for q in range(5) for c in range(4)]
+        np.testing.assert_array_equal(
+            injected.cost_many(pairs),
+            self.MATRIX[[p[0] for p in pairs], [p[1] for p in pairs]],
+        )
+        assert injected.injected == 0
+
+
+# ----------------------------------------------------------------------
+# full-selector fault matrix: parity with the no-fault run
+# ----------------------------------------------------------------------
+def _snapshot(result):
+    return {
+        "best_index": int(result.best_index),
+        "prcs": float(result.prcs).hex(),
+        "optimizer_calls": int(result.optimizer_calls),
+        "queries_sampled": int(result.queries_sampled),
+        "terminated_by": result.terminated_by,
+        "estimates": [float(x).hex() for x in result.estimates],
+        "history": [[int(c), float(p).hex()] for c, p in result.history],
+    }
+
+
+OPTIONS = SelectorOptions(
+    alpha=0.9, scheme="delta", stratify="progressive", n_min=8,
+    consecutive=3, eliminate=True, reeval_every=2,
+)
+
+
+def _select(source, template_ids, seed=0, options=OPTIONS):
+    return ConfigurationSelector(
+        source, template_ids, options, rng=np.random.default_rng(seed)
+    ).run()
+
+
+class TestSelectorUnderFaults:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        matrix, template_ids = synthetic_matrix()
+        source = MatrixCostSource(matrix)
+        result = _select(source, template_ids)
+        return matrix, template_ids, _snapshot(result), source.calls
+
+    @pytest.mark.parametrize("rate", [0.02, 0.1, 0.3])
+    @pytest.mark.parametrize("fail_attempts", [1, 2])
+    def test_transient_faults_bit_identical(
+        self, baseline, rate, fail_attempts
+    ):
+        matrix, template_ids, expected, expected_calls = baseline
+        clock = FakeClock()
+        inner = MatrixCostSource(matrix)
+        injected = InjectedFaultCostSource(
+            inner, rate=rate, mode="transient", seed=99,
+            fail_attempts=fail_attempts,
+        )
+        wrapper = ResilientCostSource(
+            injected, FaultPolicy(retries=3, backoff_base=0.01),
+            sleep=clock.sleep, clock=clock,
+        )
+        result = _select(wrapper, template_ids)
+        assert _snapshot(result) == expected
+        # Distinct-pair accounting: recovered retries are free.
+        assert inner.calls == expected_calls
+        assert injected.injected > 0
+
+    def test_slow_faults_bit_identical(self, baseline):
+        matrix, template_ids, expected, expected_calls = baseline
+        clock = FakeClock()
+        inner = MatrixCostSource(matrix)
+        injected = InjectedFaultCostSource(
+            inner, rate=0.1, mode="slow", seed=99, slow_seconds=5.0,
+            clock=clock,
+        )
+        wrapper = ResilientCostSource(
+            injected,
+            FaultPolicy(retries=3, timeout=1.0, backoff_base=0.0),
+            sleep=clock.sleep, clock=clock,
+        )
+        result = _select(wrapper, template_ids)
+        assert _snapshot(result) == expected
+        assert inner.calls == expected_calls
+
+    def test_insufficient_retries_exhaust(self, baseline):
+        matrix, template_ids, _expected, _calls = baseline
+        inner = MatrixCostSource(matrix)
+        injected = InjectedFaultCostSource(
+            inner, rate=0.2, mode="transient", seed=99, fail_attempts=4,
+        )
+        wrapper = ResilientCostSource(
+            injected, FaultPolicy(retries=1, backoff_base=0.0),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(CostSourceExhausted):
+            _select(wrapper, template_ids)
+
+    def test_permanent_faults_exhaust_with_context(self, baseline):
+        matrix, template_ids, _expected, _calls = baseline
+        inner = MatrixCostSource(matrix)
+        injected = InjectedFaultCostSource(
+            inner, rate=0.05, mode="permanent", seed=99
+        )
+        wrapper = ResilientCostSource(
+            injected, FaultPolicy(retries=3, backoff_base=0.0),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(CostSourceExhausted) as excinfo:
+            _select(wrapper, template_ids)
+        err = excinfo.value
+        assert err.query_idx is not None
+        assert injected.is_faulty(err.query_idx, err.config_idx)
+
+    def test_wrapper_without_injection_bit_identical(self, baseline):
+        matrix, template_ids, expected, expected_calls = baseline
+        inner = MatrixCostSource(matrix)
+        wrapper = ResilientCostSource(inner, FaultPolicy())
+        result = _select(wrapper, template_ids)
+        assert _snapshot(result) == expected
+        assert inner.calls == expected_calls

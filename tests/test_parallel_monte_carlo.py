@@ -166,3 +166,92 @@ class TestProfilingLayer:
         assert report["cache_hits"] == 1
         assert 0.0 <= report["pair_hit_rate"] <= 1.0
         assert 0.0 <= report["fingerprint_hit_rate"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# chunk salvage (PR 5): worker failures must not discard completed work
+# ----------------------------------------------------------------------
+import os
+
+from repro.experiments.parallel import ChunkFailure, _run_chunks
+from repro.experiments import parallel as parallel_mod
+
+_PARENT_PID = os.getpid()
+_INIT_ARGS = (
+    np.zeros((2, 2), dtype=np.float64),
+    np.zeros(2, dtype=np.int64),
+)
+
+
+def _worker_only_failure(payload):
+    """Fails in pool workers, succeeds in the parent's serial retry."""
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("simulated worker fault")
+    return [x * 2 for x in payload]
+
+
+def _always_fails(payload):
+    raise ValueError("deterministically broken chunk")
+
+
+def _dies_in_worker(payload):
+    """Hard-kills the worker process (BrokenProcessPool in the parent)."""
+    if os.getpid() != _PARENT_PID:
+        os._exit(1)
+    return [x * 2 for x in payload]
+
+
+class TestChunkSalvage:
+    def test_worker_failures_retried_serially(self):
+        payloads = [[1, 2], [3, 4], [5]]
+        out = _run_chunks(
+            _worker_only_failure, payloads,
+            lambda i: f"chunk {i}", workers=2, init_args=_INIT_ARGS,
+        )
+        assert out == [[2, 4], [6, 8], [10]]
+
+    def test_killed_worker_salvaged_via_serial_retry(self):
+        payloads = [[1], [2], [3]]
+        out = _run_chunks(
+            _dies_in_worker, payloads,
+            lambda i: f"chunk {i}", workers=2, init_args=_INIT_ARGS,
+        )
+        assert out == [[2], [4], [6]]
+
+    def test_double_failure_names_the_chunk(self):
+        with pytest.raises(ChunkFailure) as excinfo:
+            _run_chunks(
+                _always_fails, [[0, 1], [2, 3]],
+                lambda i: f"trials chunk {i} (seed=42)",
+                workers=2, init_args=_INIT_ARGS,
+            )
+        message = str(excinfo.value)
+        assert "trials chunk" in message
+        assert "seed=42" in message
+        assert isinstance(excinfo.value.pool_error, Exception)
+        # The serial retry's error is chained as the cause.
+        assert excinfo.value.__cause__ is not None
+
+    def test_table_results_survive_worker_faults(
+        self, mc_problem, monkeypatch
+    ):
+        """End to end: flaky workers, bit-identical final table."""
+        matrix, template_ids = mc_problem
+        expected = serial_table(
+            matrix, template_ids, trials=8, seed=3, n_min=10,
+            consecutive=3,
+        )
+
+        real_chunk = parallel_mod._table_chunk
+
+        def flaky_chunk(args):
+            if os.getpid() != _PARENT_PID:
+                raise RuntimeError("simulated worker fault")
+            return real_chunk(args)
+
+        monkeypatch.setattr(parallel_mod, "_table_chunk", flaky_chunk)
+        got = multi_config_table(
+            matrix, template_ids, trials=8, seed=3, n_min=10,
+            consecutive=3, workers=2,
+        )
+        assert got == expected

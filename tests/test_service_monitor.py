@@ -156,3 +156,104 @@ class TestEventLog:
         )
         with pytest.raises(ValueError):
             read_events(path)
+
+
+class TestDegenerateWindows:
+    """Empty or zero-mass windows must never crash a drift check."""
+
+    def _monitor(self) -> DriftMonitor:
+        monitor = DriftMonitor(threshold=0.05)
+        monitor.set_reference({1: 10, 2: 5})
+        return monitor
+
+    def test_check_empty_frequencies(self):
+        decision = self._monitor().check({}, position=100)
+        assert not decision.triggered
+        assert decision.reason == "empty-window"
+        assert decision.score == 0.0
+
+    def test_check_zero_counts(self):
+        decision = self._monitor().check({1: 0, 2: 0}, position=100)
+        assert not decision.triggered
+        assert decision.reason == "empty-window"
+
+    def test_score_zero_mass_is_zero(self):
+        assert self._monitor().score({}) == 0.0
+        assert self._monitor().score({1: 0}) == 0.0
+
+    def test_changed_templates_zero_mass_is_empty(self):
+        assert self._monitor().changed_templates({}) == set()
+        assert self._monitor().changed_templates({1: 0, 2: 0}) == set()
+
+    def test_normal_path_unaffected(self):
+        monitor = self._monitor()
+        decision = monitor.check({1: 1, 2: 14}, position=100)
+        assert decision.reason in ("triggered", "below-threshold")
+        assert decision.score > 0.0
+
+    def test_state_roundtrip(self):
+        monitor = self._monitor()
+        monitor.check({1: 1, 2: 20}, position=50)
+        payload = json.loads(json.dumps(monitor.state_dict()))
+        fresh = DriftMonitor(threshold=0.05)
+        fresh.restore_state(payload)
+        assert fresh.reference == monitor.reference
+        assert fresh._last_trigger == monitor._last_trigger
+
+
+class TestEventLogCrashRecovery:
+    """Reopening an event log must append, not truncate (PR 5 bugfix)."""
+
+    def test_reopen_appends_and_continues_seq(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("service_start", statements=10)
+            log.emit("retune_end", chosen_index=2)
+        with EventLog(path) as log:
+            assert log.next_seq == 2
+            log.emit("service_resume", position=5)
+        events = read_events(path)
+        assert [e["kind"] for e in events] == [
+            "service_start", "retune_end", "service_resume",
+        ]
+        assert [e["seq"] for e in events] == [0, 1, 2]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("a")
+        log.close()
+        with pytest.raises(RuntimeError):
+            log.emit("b")
+        # The on-disk history was not touched by the refused emit.
+        assert [e["kind"] for e in read_events(path)] == ["a"]
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps({"seq": 0, "kind": "a"}) + "\n"
+            + '{"seq": 1, "kind": "b"'  # crash mid-write: no newline
+        )
+        with EventLog(path) as log:
+            assert log.next_seq == 1
+            log.emit("c")
+        events = read_events(path)
+        assert [e["kind"] for e in events] == ["a", "c"]
+        assert [e["seq"] for e in events] == [0, 1]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"seq": 0, "kind": "a"}\n'
+            "garbage\n"
+            '{"seq": 1, "kind": "b"}\n'
+        )
+        with pytest.raises(ValueError):
+            EventLog(path)
+
+    def test_fresh_file_starts_at_zero(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            assert log.next_seq == 0
+            log.emit("a")
+        assert read_events(path)[0]["seq"] == 0
